@@ -1,0 +1,61 @@
+"""Shared configuration of the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper (see DESIGN.md §4) and
+records the produced table under ``benchmarks/results/``.  Two environment variables
+control the cost/fidelity trade-off:
+
+* ``REPRO_BENCH_WORKLOADS`` — ``subset`` (default, 8 representative workloads) or
+  ``all`` (the full 19-benchmark suite, several times slower);
+* ``REPRO_SIM_UOPS`` / ``REPRO_SIM_WARMUP`` — committed-µ-op budget per simulation
+  (benchmark default: 5000 / 1500).
+
+Simulation results are cached across benchmark files within one pytest session (the
+configurations are shared between figures), so the first file pays most of the cost.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import ExperimentResult, format_table
+from repro.workloads.suite import all_workloads, workload
+
+#: Representative subset: strong-VP, EE-friendly, IQ-hungry, offload-heavy, low-coverage
+#: and memory-bound behaviours are all present.
+SUBSET_NAMES = ("wupwise", "applu", "bzip2", "crafty", "hmmer", "namd", "gcc", "milc")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_max_uops() -> int:
+    return int(os.environ.get("REPRO_SIM_UOPS", "8000"))
+
+
+def bench_warmup_uops() -> int:
+    return int(os.environ.get("REPRO_SIM_WARMUP", "2500"))
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    """Workloads used by every benchmark (subset by default, full suite on request)."""
+    if os.environ.get("REPRO_BENCH_WORKLOADS", "subset").lower() == "all":
+        return all_workloads()
+    return [workload(name) for name in SUBSET_NAMES]
+
+
+@pytest.fixture(scope="session")
+def bench_lengths():
+    """(max_uops, warmup_uops) for every simulation run."""
+    return bench_max_uops(), bench_warmup_uops()
+
+
+def record_result(result: ExperimentResult) -> str:
+    """Render, persist and return the table of an experiment result."""
+    table = format_table(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.experiment_id}.txt"
+    path.write_text(table + "\n")
+    return table

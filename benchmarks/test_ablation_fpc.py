@@ -1,0 +1,33 @@
+"""Ablation: Forward Probabilistic Counters vs deterministic 3-bit confidence counters.
+
+Section 4.2 of the paper relies on FPC to push the accuracy of *used* predictions high
+enough that squash-based recovery is affordable.  This ablation measures, at the trace
+level, the accuracy/coverage trade-off of the paper's probabilistic vector against
+plain 3-bit counters.
+"""
+
+from benchmarks.conftest import record_result
+from repro.analysis.experiments import ablation_fpc_vector
+
+
+def test_ablation_fpc(benchmark, bench_workloads, bench_lengths):
+    max_uops, _warmup = bench_lengths
+    result = benchmark.pedantic(
+        lambda: ablation_fpc_vector(bench_workloads, max_uops=max(max_uops, 8000)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + record_result(result))
+
+    fpc_accuracy = result.series_by_label("FPC accuracy")
+    det_accuracy = result.series_by_label("3-bit accuracy")
+    fpc_coverage = result.series_by_label("FPC coverage")
+    det_coverage = result.series_by_label("3-bit coverage")
+
+    for name in fpc_accuracy.values:
+        # FPC keeps used predictions essentially always correct...
+        assert fpc_accuracy.values[name] > 0.98
+        # ...at the cost of some coverage relative to plain counters.
+        assert det_coverage.values[name] >= fpc_coverage.values[name] - 1e-9
+    # Deterministic counters are (weakly) less accurate on average.
+    assert det_accuracy.summary("mean") <= fpc_accuracy.summary("mean") + 1e-6

@@ -1,0 +1,26 @@
+"""Figure 4: proportion of committed µ-ops late-executable (disjoint from Figure 2)."""
+
+from benchmarks.conftest import record_result
+from repro.analysis.experiments import fig4_late_execution_share
+
+
+def test_fig04_late_execution_share(benchmark, bench_workloads, bench_lengths):
+    max_uops, warmup = bench_lengths
+    result = benchmark.pedantic(
+        lambda: fig4_late_execution_share(bench_workloads, max_uops, warmup),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + record_result(result))
+
+    branches = result.series_by_label("High-confidence branches")
+    predicted = result.series_by_label("Value-predicted")
+    total = result.series_by_label("Total offload (EE+LE)")
+    for name in branches.values:
+        late_share = branches.values[name] + predicted.values[name]
+        assert 0.0 <= late_share <= 1.0
+        # Fig. 2 + Fig. 4 shares together form the total OoO-engine offload.
+        assert total.values[name] >= late_share - 1e-9
+    # Section 3.4: the offload spans roughly 10%-60% of retired µ-ops across the suite.
+    assert max(total.values.values()) > 0.3
+    assert min(total.values.values()) < 0.35

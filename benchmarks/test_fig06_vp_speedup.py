@@ -1,0 +1,18 @@
+"""Figure 6: speedup brought by Value Prediction (VTAGE-2DStride) over Baseline_6_64."""
+
+from benchmarks.conftest import record_result
+from repro.analysis.experiments import fig6_vp_speedup
+
+
+def test_fig06_vp_speedup(benchmark, bench_workloads, bench_lengths):
+    max_uops, warmup = bench_lengths
+    result = benchmark.pedantic(
+        lambda: fig6_vp_speedup(bench_workloads, max_uops, warmup), rounds=1, iterations=1
+    )
+    print("\n" + record_result(result))
+
+    speedups = result.series_by_label("VTAGE-2D-Str").values
+    # Paper's shape: no slowdown, benefits concentrated on value-predictable codes.
+    assert all(value > 0.93 for value in speedups.values())
+    assert max(speedups.values()) > 1.15
+    assert result.series[0].summary("geomean") > 1.0

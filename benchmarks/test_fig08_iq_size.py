@@ -1,0 +1,26 @@
+"""Figure 8: instruction-queue-size impact — EOLE_6_48 vs Baseline_VP_6_48."""
+
+from benchmarks.conftest import record_result
+from repro.analysis.experiments import fig8_iq_size
+from repro.analysis.metrics import geometric_mean
+
+
+def test_fig08_iq_size(benchmark, bench_workloads, bench_lengths):
+    max_uops, warmup = bench_lengths
+    result = benchmark.pedantic(
+        lambda: fig8_iq_size(bench_workloads, max_uops, warmup), rounds=1, iterations=1
+    )
+    print("\n" + record_result(result))
+
+    vp48 = result.series_by_label("Baseline_VP_6_48").values
+    eole48 = result.series_by_label("EOLE_6_48").values
+    eole64 = result.series_by_label("EOLE_6_64").values
+
+    # EOLE mitigates the IQ shrink at least as well as the baseline tolerates it.
+    assert geometric_mean(eole48.values()) >= geometric_mean(vp48.values()) - 0.02
+    # With the full 64-entry IQ, EOLE performs on par with (or above) the VP baseline.
+    assert geometric_mean(eole64.values()) > 0.97
+    # Shrinking the IQ never substantially helps anyone (small noise from different
+    # squash/warm-up alignment between runs is tolerated).
+    for name in eole48:
+        assert eole48[name] <= eole64[name] + 0.05

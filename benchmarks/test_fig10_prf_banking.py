@@ -1,0 +1,21 @@
+"""Figure 10: PRF banking (2/4/8 banks) on EOLE_4_64, relative to a single bank."""
+
+from benchmarks.conftest import record_result
+from repro.analysis.experiments import fig10_prf_banks
+
+
+def test_fig10_prf_banking(benchmark, bench_workloads, bench_lengths):
+    max_uops, warmup = bench_lengths
+    result = benchmark.pedantic(
+        lambda: fig10_prf_banks(bench_workloads, max_uops, warmup), rounds=1, iterations=1
+    )
+    print("\n" + record_result(result))
+
+    # Paper: the loss from forcing consecutive µ-ops into different banks is marginal
+    # (Fig. 10 stays within ~2-3% of the unconstrained PRF); 4 banks of 64 registers is
+    # the recommended design point.
+    for banks in ("2 banks", "4 banks", "8 banks"):
+        series = result.series_by_label(banks)
+        for name, value in series.values.items():
+            assert value > 0.9, (banks, name, value)
+        assert series.summary("geomean") > 0.95

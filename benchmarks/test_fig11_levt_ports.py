@@ -1,0 +1,23 @@
+"""Figure 11: limiting the LE/VT read ports per PRF bank (2/3/4 ports, 4 banks)."""
+
+from benchmarks.conftest import record_result
+from repro.analysis.experiments import fig11_levt_ports
+
+
+def test_fig11_levt_ports(benchmark, bench_workloads, bench_lengths):
+    max_uops, warmup = bench_lengths
+    result = benchmark.pedantic(
+        lambda: fig11_levt_ports(bench_workloads, max_uops, warmup), rounds=1, iterations=1
+    )
+    print("\n" + record_result(result))
+
+    two = result.series_by_label("2P/4B")
+    three = result.series_by_label("3P/4B")
+    four = result.series_by_label("4P/4B")
+    # Paper's shape: more LE/VT ports never hurt, and 4 ports per bank are near-neutral
+    # while 2 ports are the worst configuration.
+    assert two.summary("geomean") <= three.summary("geomean") + 0.01
+    assert three.summary("geomean") <= four.summary("geomean") + 0.01
+    assert four.summary("geomean") > 0.97
+    for name, value in four.values.items():
+        assert value > 0.93, (name, value)

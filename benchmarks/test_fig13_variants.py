@@ -1,0 +1,24 @@
+"""Figure 13: modularity of EOLE — EOLE vs OLE (Late only) vs EOE (Early only)."""
+
+from benchmarks.conftest import record_result
+from repro.analysis.experiments import fig13_variants
+from repro.analysis.metrics import geometric_mean
+
+
+def test_fig13_variants(benchmark, bench_workloads, bench_lengths):
+    max_uops, warmup = bench_lengths
+    result = benchmark.pedantic(
+        lambda: fig13_variants(bench_workloads, max_uops, warmup), rounds=1, iterations=1
+    )
+    print("\n" + record_result(result))
+
+    eole = result.series_by_label("EOLE_4_64_4ports_4banks").values
+    ole = result.series_by_label("OLE_4_64_4ports_4banks").values
+    eoe = result.series_by_label("EOE_4_64_4ports_4banks").values
+
+    # Paper: either block alone stays within ~5% of the 6-issue VP baseline, and the
+    # full EOLE design is at least as good (on average) as either partial variant.
+    assert geometric_mean(eole.values()) >= geometric_mean(ole.values()) - 0.02
+    assert geometric_mean(eole.values()) >= geometric_mean(eoe.values()) - 0.02
+    assert geometric_mean(ole.values()) > 0.9
+    assert geometric_mean(eoe.values()) > 0.9

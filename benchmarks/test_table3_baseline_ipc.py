@@ -1,0 +1,22 @@
+"""Table 3: per-benchmark IPC of the Baseline_6_64 machine (no value prediction)."""
+
+from benchmarks.conftest import record_result
+from repro.analysis.experiments import table3_baseline_ipc
+
+
+def test_table3_baseline_ipc(benchmark, bench_workloads, bench_lengths):
+    max_uops, warmup = bench_lengths
+    result = benchmark.pedantic(
+        lambda: table3_baseline_ipc(bench_workloads, max_uops, warmup),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + record_result(result))
+
+    measured = result.series_by_label("Measured IPC")
+    # IPCs are positive and within the machine's commit width.
+    assert all(0.0 < value <= 8.0 for value in measured.values.values())
+    # The suite spans memory-bound (IPC << 1) to wide-ILP (IPC > 2) behaviour, like
+    # Table 3's 0.105 (mcf) ... 2.477 (hmmer) spread.
+    assert min(measured.values.values()) < 0.8
+    assert max(measured.values.values()) > 2.0

@@ -1,0 +1,67 @@
+"""Offline (trace-level) value-predictor evaluation.
+
+For predictor-centric studies — comparing predictor families, ablating the FPC
+confidence vector, sizing tables — the full pipeline model is unnecessary: coverage and
+accuracy only depend on the committed value stream and the global branch history.  This
+harness walks a workload's architectural trace, performs a fetch-time lookup and a
+commit-time training call per eligible µ-op (keeping branch history up to date), and
+reports the predictor's own statistics.  The same methodology underlies Table 2 and the
+confidence discussion of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.history import GlobalHistory
+from repro.isa.emulator import Emulator
+from repro.vp.base import ValuePredictor
+from repro.workloads.suite import Workload
+
+
+@dataclass
+class PredictorEvaluation:
+    """Outcome of an offline predictor evaluation on one workload."""
+
+    predictor_name: str
+    workload_name: str
+    eligible_uops: int
+    coverage: float
+    accuracy: float
+    mispredictions: int
+    storage_kilobytes: float
+
+
+def evaluate_predictor(
+    predictor: ValuePredictor,
+    workload: Workload,
+    max_uops: int = 20_000,
+) -> PredictorEvaluation:
+    """Run ``predictor`` over the committed trace of ``workload``.
+
+    The predictor is looked up at "fetch" (trace order) and trained immediately with the
+    architectural result, which is equivalent to commit-time training on a machine with
+    no in-flight aliasing — an optimistic but standard trace-level approximation.
+    """
+    history = GlobalHistory()
+    emulator = Emulator(workload.program, state=workload.make_state())
+    eligible = 0
+    for inst in emulator.run(max_uops):
+        uop = inst.uop
+        if uop.is_conditional_branch:
+            history.push(inst.taken)
+        if not uop.vp_eligible or inst.result is None:
+            continue
+        eligible += 1
+        prediction = predictor.lookup(inst.pc, history)
+        predictor.validate_and_train(inst.pc, inst.result, prediction)
+    stats = predictor.stats
+    return PredictorEvaluation(
+        predictor_name=predictor.name,
+        workload_name=workload.name,
+        eligible_uops=eligible,
+        coverage=stats.coverage,
+        accuracy=stats.accuracy,
+        mispredictions=stats.incorrect_used,
+        storage_kilobytes=predictor.storage_kilobytes(),
+    )

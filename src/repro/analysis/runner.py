@@ -1,0 +1,114 @@
+"""Experiment runner: simulate (configuration × workload) grids with result caching.
+
+Every figure of the paper compares several machine configurations over the same
+workload suite, and several figures share configurations (``Baseline_VP_6_64`` is the
+normalisation baseline of Figs. 7, 8, 12 and 13).  The module-level
+:class:`ResultCache` avoids re-simulating identical (configuration, workload, length)
+triples within one process, which keeps the full benchmark harness affordable.
+
+Run lengths default to a scaled-down region of interest (the paper uses 50M warm-up +
+100M instructions; see DESIGN.md §5 for why a few thousand µ-ops of these steady-state
+kernels are representative).  They can be overridden globally through the
+``REPRO_SIM_UOPS`` / ``REPRO_SIM_WARMUP`` environment variables or per call.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.simulator import Simulator
+from repro.pipeline.stats import SimulationResult
+from repro.workloads.suite import Workload, all_workloads
+
+
+def default_max_uops() -> int:
+    """Per-run committed-µ-op budget (env ``REPRO_SIM_UOPS``, default 12000)."""
+    return int(os.environ.get("REPRO_SIM_UOPS", "12000"))
+
+
+def default_warmup_uops() -> int:
+    """Warm-up µ-ops excluded from the measurement window (env ``REPRO_SIM_WARMUP``)."""
+    return int(os.environ.get("REPRO_SIM_WARMUP", "3000"))
+
+
+@dataclass(frozen=True)
+class _CacheKey:
+    config_name: str
+    workload_name: str
+    max_uops: int
+    warmup_uops: int
+
+
+class ResultCache:
+    """In-process memoisation of simulation results."""
+
+    def __init__(self) -> None:
+        self._results: dict[_CacheKey, SimulationResult] = {}
+
+    def get(self, key: _CacheKey) -> SimulationResult | None:
+        return self._results.get(key)
+
+    def put(self, key: _CacheKey, result: SimulationResult) -> None:
+        self._results[key] = result
+
+    def clear(self) -> None:
+        self._results.clear()
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+#: Shared cache used by the experiment harness (clear with ``shared_cache.clear()``).
+shared_cache = ResultCache()
+
+
+def run_workload(
+    config: PipelineConfig,
+    workload: Workload,
+    max_uops: int | None = None,
+    warmup_uops: int | None = None,
+    cache: ResultCache | None = shared_cache,
+) -> SimulationResult:
+    """Simulate ``workload`` on ``config`` (cached by configuration name and lengths)."""
+    max_uops = max_uops if max_uops is not None else default_max_uops()
+    warmup_uops = warmup_uops if warmup_uops is not None else default_warmup_uops()
+    key = _CacheKey(config.name, workload.name, max_uops, warmup_uops)
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    simulator = Simulator(
+        config,
+        workload.program,
+        max_uops=max_uops,
+        warmup_uops=warmup_uops,
+        arch_state=workload.make_state(),
+        workload_name=workload.name,
+    )
+    result = simulator.run()
+    if cache is not None:
+        cache.put(key, result)
+    return result
+
+
+def run_suite(
+    config: PipelineConfig,
+    workloads: Iterable[Workload] | None = None,
+    max_uops: int | None = None,
+    warmup_uops: int | None = None,
+    cache: ResultCache | None = shared_cache,
+) -> dict[str, SimulationResult]:
+    """Simulate every workload on ``config``; returns results keyed by workload name."""
+    selected = list(workloads) if workloads is not None else all_workloads()
+    return {
+        workload.name: run_workload(config, workload, max_uops, warmup_uops, cache)
+        for workload in selected
+    }
+
+
+def suite_ipcs(results: dict[str, SimulationResult]) -> dict[str, float]:
+    """Extract the per-workload IPCs from a suite result dictionary."""
+    return {name: result.ipc for name, result in results.items()}

@@ -1,0 +1,75 @@
+"""Global branch history register with folded-history helpers.
+
+Both the TAGE branch predictor and the VTAGE value predictor index their tagged
+components with a hash of the PC and a geometrically increasing slice of the global
+conditional-branch history (Seznec & Michaud, JILP 2006; Perais & Seznec, HPCA 2014).
+This module provides the shared history register abstraction, including the standard
+"folding" of a long history slice down to an index- or tag-sized bit field.
+"""
+
+from __future__ import annotations
+
+
+class GlobalHistory:
+    """A fixed-capacity global branch-history register.
+
+    The youngest outcome occupies bit 0.  The register is deliberately storage-bounded
+    (``capacity`` bits) like a hardware history register.
+    """
+
+    __slots__ = ("capacity", "_bits", "_mask")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("history capacity must be positive")
+        self.capacity = capacity
+        self._bits = 0
+        self._mask = (1 << capacity) - 1
+
+    # ------------------------------------------------------------------ update
+    def push(self, taken: bool) -> None:
+        """Insert the outcome of the most recent conditional branch."""
+        self._bits = ((self._bits << 1) | (1 if taken else 0)) & self._mask
+
+    def snapshot(self) -> int:
+        """Return the raw history bits (useful for checkpoint/restore on squash)."""
+        return self._bits
+
+    def restore(self, bits: int) -> None:
+        """Restore a snapshot taken with :meth:`snapshot`."""
+        self._bits = bits & self._mask
+
+    def clear(self) -> None:
+        """Reset the history register to all-not-taken."""
+        self._bits = 0
+
+    # ------------------------------------------------------------------ access
+    @property
+    def bits(self) -> int:
+        """Raw history bits, youngest outcome in bit 0."""
+        return self._bits
+
+    def slice(self, length: int) -> int:
+        """The youngest ``length`` bits of history."""
+        if length <= 0:
+            return 0
+        if length >= self.capacity:
+            return self._bits
+        return self._bits & ((1 << length) - 1)
+
+    def fold(self, length: int, width: int) -> int:
+        """Fold the youngest ``length`` history bits down to ``width`` bits by XOR."""
+        return fold_bits(self.slice(length), length, width)
+
+
+def fold_bits(value: int, length: int, width: int) -> int:
+    """XOR-fold ``length`` bits of ``value`` into a ``width``-bit quantity."""
+    if width <= 0 or length <= 0:
+        return 0
+    mask = (1 << width) - 1
+    folded = 0
+    remaining = value & ((1 << length) - 1)
+    while remaining:
+        folded ^= remaining & mask
+        remaining >>= width
+    return folded & mask

@@ -1,0 +1,255 @@
+"""TAGE conditional branch predictor with storage-free confidence estimation.
+
+The baseline machine of the paper (Table 1) uses a TAGE predictor with 1 bimodal + 12
+tagged components.  EOLE additionally relies on Seznec's storage-free confidence
+estimation (HPCA 2011): predictions whose providing counter is *saturated* are "very
+high confidence" and exhibit misprediction rates well below 0.5%, which is what allows
+their resolution to be delayed until the Late-Execution stage (Section 3.3).
+
+This implementation is a faithful, parameterisable TAGE: bimodal base predictor, tagged
+components indexed with geometrically increasing global-history lengths, useful
+counters, TAGE-style allocation on mispredictions, and a use-alt-on-newly-allocated
+policy.  Scaled-down table sizes are used by default to match the reduced footprint of
+the synthetic workloads; the named pipeline configurations size it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.history import GlobalHistory
+from repro.errors import ConfigurationError
+from repro.vp.confidence import DeterministicRandom
+from repro.vp.vtage import geometric_history_lengths
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int) -> int:
+    value &= _MASK64
+    value ^= value >> 33
+    value = (value * 0xC2B2AE3D27D4EB4F) & _MASK64
+    return value ^ (value >> 29)
+
+
+@dataclass
+class TAGEPrediction:
+    """Outcome of a TAGE lookup, carried until branch resolution/commit for training."""
+
+    taken: bool
+    high_confidence: bool
+    provider: int  # -1 = bimodal, else tagged component rank
+    provider_counter: int
+    alt_taken: bool
+    indices: tuple[int, ...]
+    tags: tuple[int, ...]
+    bimodal_index: int
+
+
+class _TageEntry:
+    __slots__ = ("tag", "counter", "useful", "valid")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.counter = 4  # weakly taken (3-bit counter, 0..7)
+        self.useful = 0
+        self.valid = False
+
+
+class TAGEBranchPredictor:
+    """TAGE with per-prediction confidence classification."""
+
+    #: counter value at or above which the prediction is "taken"
+    _TAKEN_THRESHOLD = 4
+    _COUNTER_MAX = 7
+    _USEFUL_MAX = 3
+
+    def __init__(
+        self,
+        bimodal_entries: int = 8192,
+        tagged_entries: int = 1024,
+        num_components: int = 12,
+        tag_bits: int = 11,
+        min_history: int = 4,
+        max_history: int = 256,
+        useful_reset_period: int = 1 << 18,
+        seed: int = 0x7A9E,
+    ) -> None:
+        for entries in (bimodal_entries, tagged_entries):
+            if entries <= 0 or entries & (entries - 1):
+                raise ConfigurationError("TAGE table sizes must be powers of two")
+        self.bimodal_entries = bimodal_entries
+        self.tagged_entries = tagged_entries
+        self.num_components = num_components
+        self.tag_bits = tag_bits
+        self.history_lengths = geometric_history_lengths(min_history, max_history, num_components)
+        self.useful_reset_period = useful_reset_period
+        self._bimodal_mask = bimodal_entries - 1
+        self._tagged_mask = tagged_entries - 1
+        self._bimodal = [2] * bimodal_entries  # 2-bit counters, 0..3, weakly not-taken=1
+        self._components = [
+            [_TageEntry() for _ in range(tagged_entries)] for _ in range(num_components)
+        ]
+        self._random = DeterministicRandom(seed)
+        self._use_alt_on_na = 8  # 4-bit counter, >=8 means "use alt for new entries"
+        self._branches_seen = 0
+        # Statistics.
+        self.lookups = 0
+        self.mispredictions = 0
+        self.high_confidence_lookups = 0
+        self.high_confidence_mispredictions = 0
+
+    # ------------------------------------------------------------------ indexing
+    def _bimodal_index(self, pc: int) -> int:
+        return _mix(pc) & self._bimodal_mask
+
+    def _tagged_index(self, pc: int, history: GlobalHistory, rank: int) -> int:
+        folded = history.fold(self.history_lengths[rank], self._tagged_mask.bit_length())
+        return (_mix(pc + rank * 0x9E37) ^ folded) & self._tagged_mask
+
+    def _tagged_tag(self, pc: int, history: GlobalHistory, rank: int) -> int:
+        folded = history.fold(self.history_lengths[rank], self.tag_bits)
+        return (_mix(pc * 3 + rank * 7 + 5) ^ folded) & ((1 << self.tag_bits) - 1)
+
+    # ------------------------------------------------------------------ prediction
+    def predict(self, pc: int, history: GlobalHistory) -> TAGEPrediction:
+        """Predict the direction of the conditional branch at ``pc``."""
+        self.lookups += 1
+        indices = []
+        tags = []
+        provider = -1
+        altpred_provider = -1
+        for rank in range(self.num_components):
+            index = self._tagged_index(pc, history, rank)
+            tag = self._tagged_tag(pc, history, rank)
+            indices.append(index)
+            tags.append(tag)
+            entry = self._components[rank][index]
+            if entry.valid and entry.tag == tag:
+                altpred_provider = provider
+                provider = rank
+
+        bimodal_index = self._bimodal_index(pc)
+        bimodal_taken = self._bimodal[bimodal_index] >= 2
+
+        if altpred_provider >= 0:
+            alt_entry = self._components[altpred_provider][indices[altpred_provider]]
+            alt_taken = alt_entry.counter >= self._TAKEN_THRESHOLD
+        else:
+            alt_taken = bimodal_taken
+
+        if provider >= 0:
+            entry = self._components[provider][indices[provider]]
+            provider_counter = entry.counter
+            taken = provider_counter >= self._TAKEN_THRESHOLD
+            newly_allocated = entry.useful == 0 and provider_counter in (3, 4)
+            if newly_allocated and self._use_alt_on_na >= 8:
+                taken = alt_taken
+            saturated = provider_counter in (0, self._COUNTER_MAX)
+            high_confidence = saturated and not newly_allocated
+        else:
+            provider_counter = self._bimodal[bimodal_index]
+            taken = bimodal_taken
+            high_confidence = provider_counter in (0, 3)
+
+        prediction = TAGEPrediction(
+            taken=taken,
+            high_confidence=high_confidence,
+            provider=provider,
+            provider_counter=provider_counter,
+            alt_taken=alt_taken,
+            indices=tuple(indices),
+            tags=tuple(tags),
+            bimodal_index=bimodal_index,
+        )
+        if high_confidence:
+            self.high_confidence_lookups += 1
+        return prediction
+
+    # ------------------------------------------------------------------ update
+    def _update_counter(self, value: int, taken: bool, maximum: int) -> int:
+        if taken:
+            return min(maximum, value + 1)
+        return max(0, value - 1)
+
+    def update(self, pc: int, taken: bool, prediction: TAGEPrediction) -> None:
+        """Train the predictor with the resolved outcome of a conditional branch."""
+        self._branches_seen += 1
+        mispredicted = prediction.taken != taken
+        if mispredicted:
+            self.mispredictions += 1
+            if prediction.high_confidence:
+                self.high_confidence_mispredictions += 1
+
+        if prediction.provider >= 0:
+            rank = prediction.provider
+            entry = self._components[rank][prediction.indices[rank]]
+            provider_pred = prediction.provider_counter >= self._TAKEN_THRESHOLD
+            # use-alt-on-newly-allocated bookkeeping.
+            newly_allocated = entry.useful == 0 and prediction.provider_counter in (3, 4)
+            if newly_allocated and provider_pred != prediction.alt_taken:
+                if provider_pred == taken:
+                    self._use_alt_on_na = max(0, self._use_alt_on_na - 1)
+                else:
+                    self._use_alt_on_na = min(15, self._use_alt_on_na + 1)
+            entry.counter = self._update_counter(entry.counter, taken, self._COUNTER_MAX)
+            if provider_pred != prediction.alt_taken:
+                if provider_pred == taken:
+                    entry.useful = min(self._USEFUL_MAX, entry.useful + 1)
+                else:
+                    entry.useful = max(0, entry.useful - 1)
+        else:
+            self._bimodal[prediction.bimodal_index] = self._update_counter(
+                self._bimodal[prediction.bimodal_index], taken, 3
+            )
+
+        if mispredicted and prediction.provider < self.num_components - 1:
+            self._allocate(taken, prediction)
+
+        if self._branches_seen % self.useful_reset_period == 0:
+            self._age_useful_bits()
+
+    def _allocate(self, taken: bool, prediction: TAGEPrediction) -> None:
+        start = prediction.provider + 1
+        candidates = [
+            rank
+            for rank in range(start, self.num_components)
+            if self._components[rank][prediction.indices[rank]].useful == 0
+        ]
+        if not candidates:
+            for rank in range(start, self.num_components):
+                entry = self._components[rank][prediction.indices[rank]]
+                entry.useful = max(0, entry.useful - 1)
+            return
+        choice = candidates[0]
+        if len(candidates) > 1 and self._random.chance_half():
+            choice = candidates[1]
+        entry = self._components[choice][prediction.indices[choice]]
+        entry.valid = True
+        entry.tag = prediction.tags[choice]
+        entry.counter = 4 if taken else 3
+        entry.useful = 0
+
+    def _age_useful_bits(self) -> None:
+        for component in self._components:
+            for entry in component:
+                entry.useful >>= 1
+
+    # ------------------------------------------------------------------ statistics
+    @property
+    def misprediction_rate(self) -> float:
+        """Overall misprediction rate over all lookups."""
+        return self.mispredictions / self.lookups if self.lookups else 0.0
+
+    @property
+    def high_confidence_misprediction_rate(self) -> float:
+        """Misprediction rate restricted to very-high-confidence predictions."""
+        if not self.high_confidence_lookups:
+            return 0.0
+        return self.high_confidence_mispredictions / self.high_confidence_lookups
+
+    def storage_bits(self) -> int:
+        """Approximate storage budget of the tables, in bits."""
+        bimodal = self.bimodal_entries * 2
+        tagged = self.num_components * self.tagged_entries * (3 + 2 + self.tag_bits)
+        return bimodal + tagged

@@ -1,0 +1,117 @@
+"""Early Execution (the "E" of EOLE) — Section 3.2 of the paper.
+
+Early Execution places one (or more) stage(s) of simple ALUs in the in-order front-end,
+in parallel with Rename.  A single-cycle ALU µ-op whose operands are all available in
+the front-end is executed there and never enters the out-of-order engine.  Operands can
+come from three places only (operands are *never* read from the PRF):
+
+* an immediate (known at decode);
+* the value predictor — the predicted result of a producer travelling through the
+  front-end alongside the consumer (same rename group, or the immediately preceding
+  group whose predictions are still on the local bypass);
+* the local bypass network — the result of a µ-op early-executed in the immediately
+  preceding rename group, or (when more than one ALU stage is used) in an earlier stage
+  of the same group.
+
+The paper finds a single ALU stage captures almost all of the benefit (Fig. 2); the
+``depth`` knob reproduces that study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.ooo.inflight import InflightOp
+
+
+@dataclass
+class EarlyExecutionConfig:
+    """Configuration of the Early Execution block.
+
+    ``depth`` is the number of ALU stages (Fig. 2 compares 1 and 2); ``alus_per_stage``
+    bounds how many µ-ops can execute in one stage in one cycle (the paper assumes a
+    full rename-width rank of ALUs, i.e. 8, in Section 5, and discusses narrower ranks
+    in Section 6.3).
+    """
+
+    enabled: bool = True
+    depth: int = 1
+    alus_per_stage: int = 8
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise ConfigurationError("Early Execution depth must be at least one stage")
+        if self.alus_per_stage <= 0:
+            raise ConfigurationError("Early Execution needs at least one ALU per stage")
+
+
+class EarlyExecutionBlock:
+    """Plans which µ-ops of a rename group execute early."""
+
+    def __init__(self, config: EarlyExecutionConfig | None = None) -> None:
+        self.config = config if config is not None else EarlyExecutionConfig()
+        self.candidates_seen = 0
+        self.executed = 0
+        self.alu_saturation_rejects = 0
+
+    # ------------------------------------------------------------------ eligibility
+    def _operands_available(
+        self,
+        op: InflightOp,
+        group_members: set[int],
+        previous_bypass: set[int],
+        earlier_stage: set[int],
+    ) -> bool:
+        """True if every register operand of ``op`` is available in the front-end."""
+        for producer in op.producers:
+            if producer is None:
+                # The value lives only in the PRF, which Early Execution cannot read.
+                return False
+            producer_id = id(producer)
+            if producer_id in earlier_stage:
+                continue
+            if producer_id in group_members and producer.pred_used:
+                continue
+            if producer_id in previous_bypass:
+                continue
+            return False
+        return True
+
+    # ------------------------------------------------------------------ planning
+    def plan(self, group: list[InflightOp], previous_group: list[InflightOp]) -> list[InflightOp]:
+        """Mark the µ-ops of ``group`` that early-execute and return them.
+
+        ``previous_group`` is the rename group dispatched immediately before this one;
+        only its early-executed or predicted members are visible on the local bypass
+        (footnote 3 of the paper: the bypass does not span several rename groups).
+        """
+        if not self.config.enabled or not group:
+            return []
+        previous_bypass = {
+            id(op) for op in previous_group if op.early_executed or op.pred_used
+        }
+        group_members = {id(op) for op in group}
+        executed: list[InflightOp] = []
+        earlier_stage: set[int] = set()
+        for _stage in range(self.config.depth):
+            stage_executed: list[InflightOp] = []
+            alus_left = self.config.alus_per_stage
+            for op in group:
+                if op.early_executed or not op.uop.is_single_cycle_alu:
+                    continue
+                self.candidates_seen += 1
+                if not self._operands_available(op, group_members, previous_bypass, earlier_stage):
+                    continue
+                if alus_left <= 0:
+                    self.alu_saturation_rejects += 1
+                    continue
+                op.early_executed = True
+                alus_left -= 1
+                stage_executed.append(op)
+            if not stage_executed:
+                break
+            earlier_stage.update(id(op) for op in stage_executed)
+            executed.extend(stage_executed)
+        self.executed += len(executed)
+        return executed

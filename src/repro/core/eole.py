@@ -1,0 +1,72 @@
+"""EOLE variants: {Early | Out-of-Order | Late} Execution and its partial forms.
+
+Section 6.5 of the paper notes that EOLE is modular: Early Execution and Late Execution
+can be adopted independently, giving the OLE (Late Execution only) and EOE (Early
+Execution only) designs evaluated in Fig. 13.  This module groups the per-block
+configurations under a single :class:`EOLEConfig` consumed by the pipeline simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+
+from repro.core.early_execution import EarlyExecutionConfig
+from repro.core.late_execution import LateExecutionConfig
+
+
+@unique
+class EOLEVariant(str, Enum):
+    """Which of the paper's execution-offload blocks are present."""
+
+    NONE = "none"  # plain superscalar (with or without VP)
+    EOLE = "eole"  # Early + Late Execution
+    OLE = "ole"  # Late Execution only (Fig. 13)
+    EOE = "eoe"  # Early Execution only (Fig. 13)
+
+    @property
+    def has_early_execution(self) -> bool:
+        """True if the variant includes the front-end Early Execution block."""
+        return self in (EOLEVariant.EOLE, EOLEVariant.EOE)
+
+    @property
+    def has_late_execution(self) -> bool:
+        """True if the variant includes the pre-commit Late Execution block."""
+        return self in (EOLEVariant.EOLE, EOLEVariant.OLE)
+
+
+@dataclass
+class EOLEConfig:
+    """Aggregated EOLE configuration used by the pipeline."""
+
+    variant: EOLEVariant = EOLEVariant.NONE
+    early: EarlyExecutionConfig = field(default_factory=EarlyExecutionConfig)
+    late: LateExecutionConfig = field(default_factory=LateExecutionConfig)
+
+    def __post_init__(self) -> None:
+        self.early.enabled = self.variant.has_early_execution
+        self.late.enabled = self.variant.has_late_execution
+
+    @property
+    def enabled(self) -> bool:
+        """True if any offload block is active."""
+        return self.variant is not EOLEVariant.NONE
+
+
+def eole_config(
+    variant: EOLEVariant = EOLEVariant.EOLE,
+    ee_depth: int = 1,
+    ee_alus: int = 8,
+    le_alus: int = 8,
+    resolve_high_confidence_branches: bool = True,
+) -> EOLEConfig:
+    """Convenience constructor for an :class:`EOLEConfig`."""
+    return EOLEConfig(
+        variant=variant,
+        early=EarlyExecutionConfig(enabled=True, depth=ee_depth, alus_per_stage=ee_alus),
+        late=LateExecutionConfig(
+            enabled=True,
+            alus=le_alus,
+            resolve_high_confidence_branches=resolve_high_confidence_branches,
+        ),
+    )

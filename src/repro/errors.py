@@ -1,0 +1,28 @@
+"""Exception hierarchy for the EOLE reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that callers can
+catch library failures with a single ``except`` clause while still being able to
+distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ProgramError(ReproError):
+    """A workload program is malformed (bad label, bad register, bad operand count)."""
+
+
+class EmulationError(ReproError):
+    """The architectural emulator hit an unrecoverable condition (e.g. runaway loop)."""
+
+
+class ConfigurationError(ReproError):
+    """A pipeline or predictor configuration is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an inconsistent internal state."""

@@ -1,0 +1,278 @@
+"""A small assembly-like DSL for constructing :class:`~repro.isa.program.Program` objects.
+
+The workload kernels (see :mod:`repro.workloads`) are written against this builder.  It
+accepts registers either as small integer ids or as names (``"r4"``, ``"f2"``), resolves
+labels lazily at :meth:`ProgramBuilder.build` time, and provides one method per opcode
+plus a handful of convenience helpers (``la`` to materialise a label address, loop
+labels, etc.).
+
+Example
+-------
+>>> from repro.isa.builder import ProgramBuilder
+>>> b = ProgramBuilder("count")
+>>> b.movi("r1", 0)
+>>> b.movi("r2", 100)
+>>> b.label("loop")
+>>> b.addi("r1", "r1", 1)
+>>> b.cmp("r1", "r2")
+>>> b.bne("loop")
+>>> program = b.build()
+>>> len(program)
+5
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+from repro.isa import registers as regs
+from repro.isa.microop import MicroOp
+from repro.isa.opcode import Opcode
+from repro.isa.program import Program
+
+RegLike = int | str
+
+
+def _reg(reg: RegLike) -> int:
+    """Normalise a register operand (id or name) to a register id."""
+    if isinstance(reg, str):
+        return regs.parse_reg(reg)
+    if not regs.is_valid_reg(reg):
+        raise ProgramError(f"invalid register id: {reg}")
+    return reg
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`Program`."""
+
+    def __init__(self, name: str = "anonymous") -> None:
+        self.name = name
+        self._uops: list[MicroOp] = []
+        self._labels: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ structure
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position and return it."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._uops)
+        return name
+
+    def emit(self, uop: MicroOp) -> MicroOp:
+        """Append an already-constructed µ-op."""
+        self._uops.append(uop)
+        return uop
+
+    def build(self) -> Program:
+        """Finalise and resolve the program."""
+        program = Program(uops=list(self._uops), labels=dict(self._labels), name=self.name)
+        return program.resolve()
+
+    def __len__(self) -> int:
+        return len(self._uops)
+
+    # ------------------------------------------------------------------ ALU helpers
+    def _alu(
+        self,
+        opcode: Opcode,
+        dst: RegLike,
+        a: RegLike,
+        b: RegLike | None = None,
+        imm: int | None = None,
+        sets_flags: bool = False,
+    ) -> MicroOp:
+        srcs = (_reg(a),) if b is None else (_reg(a), _reg(b))
+        if b is None and imm is None:
+            raise ProgramError(f"{opcode.value}: needs either a second register or an immediate")
+        return self.emit(
+            MicroOp(opcode, dst=_reg(dst), srcs=srcs, imm=imm, sets_flags=sets_flags)
+        )
+
+    def add(self, dst: RegLike, a: RegLike, b: RegLike, sets_flags: bool = False) -> MicroOp:
+        """``dst = a + b``."""
+        return self._alu(Opcode.ADD, dst, a, b, sets_flags=sets_flags)
+
+    def addi(self, dst: RegLike, a: RegLike, imm: int, sets_flags: bool = False) -> MicroOp:
+        """``dst = a + imm``."""
+        return self._alu(Opcode.ADD, dst, a, imm=imm, sets_flags=sets_flags)
+
+    def sub(self, dst: RegLike, a: RegLike, b: RegLike, sets_flags: bool = False) -> MicroOp:
+        """``dst = a - b``."""
+        return self._alu(Opcode.SUB, dst, a, b, sets_flags=sets_flags)
+
+    def subi(self, dst: RegLike, a: RegLike, imm: int, sets_flags: bool = False) -> MicroOp:
+        """``dst = a - imm``."""
+        return self._alu(Opcode.SUB, dst, a, imm=imm, sets_flags=sets_flags)
+
+    def and_(self, dst: RegLike, a: RegLike, b: RegLike | None = None, imm: int | None = None) -> MicroOp:
+        """``dst = a & (b | imm)``."""
+        return self._alu(Opcode.AND, dst, a, b, imm=imm)
+
+    def or_(self, dst: RegLike, a: RegLike, b: RegLike | None = None, imm: int | None = None) -> MicroOp:
+        """``dst = a | (b | imm)``."""
+        return self._alu(Opcode.OR, dst, a, b, imm=imm)
+
+    def xor(self, dst: RegLike, a: RegLike, b: RegLike | None = None, imm: int | None = None) -> MicroOp:
+        """``dst = a ^ (b | imm)``."""
+        return self._alu(Opcode.XOR, dst, a, b, imm=imm)
+
+    def shl(self, dst: RegLike, a: RegLike, imm: int) -> MicroOp:
+        """``dst = a << imm``."""
+        return self._alu(Opcode.SHL, dst, a, imm=imm)
+
+    def shr(self, dst: RegLike, a: RegLike, imm: int) -> MicroOp:
+        """``dst = a >> imm`` (logical)."""
+        return self._alu(Opcode.SHR, dst, a, imm=imm)
+
+    def mov(self, dst: RegLike, src: RegLike) -> MicroOp:
+        """``dst = src``."""
+        return self.emit(MicroOp(Opcode.MOV, dst=_reg(dst), srcs=(_reg(src),)))
+
+    def movi(self, dst: RegLike, imm: int) -> MicroOp:
+        """``dst = imm``."""
+        return self.emit(MicroOp(Opcode.MOVI, dst=_reg(dst), imm=imm))
+
+    def la(self, dst: RegLike, label: str) -> MicroOp:
+        """``dst = static PC of label`` (for indirect jumps)."""
+        return self.emit(MicroOp(Opcode.MOVI, dst=_reg(dst), imm_label=label))
+
+    def cmp(self, a: RegLike, b: RegLike | None = None, imm: int | None = None) -> MicroOp:
+        """Compare ``a`` with ``b`` (or ``imm``) and set flags."""
+        srcs = (_reg(a),) if b is None else (_reg(a), _reg(b))
+        if b is None and imm is None:
+            raise ProgramError("cmp: needs either a second register or an immediate")
+        return self.emit(MicroOp(Opcode.CMP, srcs=srcs, imm=imm, sets_flags=True))
+
+    def not_(self, dst: RegLike, a: RegLike) -> MicroOp:
+        """``dst = ~a``."""
+        return self.emit(MicroOp(Opcode.NOT, dst=_reg(dst), srcs=(_reg(a),)))
+
+    def neg(self, dst: RegLike, a: RegLike) -> MicroOp:
+        """``dst = -a``."""
+        return self.emit(MicroOp(Opcode.NEG, dst=_reg(dst), srcs=(_reg(a),)))
+
+    def min_(self, dst: RegLike, a: RegLike, b: RegLike) -> MicroOp:
+        """``dst = min(a, b)`` (unsigned)."""
+        return self._alu(Opcode.MIN, dst, a, b)
+
+    def max_(self, dst: RegLike, a: RegLike, b: RegLike) -> MicroOp:
+        """``dst = max(a, b)`` (unsigned)."""
+        return self._alu(Opcode.MAX, dst, a, b)
+
+    # ------------------------------------------------------------------ multi-cycle integer
+    def mul(self, dst: RegLike, a: RegLike, b: RegLike | None = None, imm: int | None = None) -> MicroOp:
+        """``dst = a * (b | imm)``."""
+        return self._alu(Opcode.MUL, dst, a, b, imm=imm)
+
+    def div(self, dst: RegLike, a: RegLike, b: RegLike | None = None, imm: int | None = None) -> MicroOp:
+        """``dst = a / (b | imm)`` (unsigned; division by zero yields all-ones)."""
+        return self._alu(Opcode.DIV, dst, a, b, imm=imm)
+
+    def mod(self, dst: RegLike, a: RegLike, b: RegLike | None = None, imm: int | None = None) -> MicroOp:
+        """``dst = a % (b | imm)`` (unsigned; modulo zero yields zero)."""
+        return self._alu(Opcode.MOD, dst, a, b, imm=imm)
+
+    # ------------------------------------------------------------------ floating point
+    def fadd(self, dst: RegLike, a: RegLike, b: RegLike) -> MicroOp:
+        """Floating-point add (3-cycle class)."""
+        return self._alu(Opcode.FADD, dst, a, b)
+
+    def fsub(self, dst: RegLike, a: RegLike, b: RegLike) -> MicroOp:
+        """Floating-point subtract (3-cycle class)."""
+        return self._alu(Opcode.FSUB, dst, a, b)
+
+    def fmov(self, dst: RegLike, a: RegLike) -> MicroOp:
+        """Floating-point move (3-cycle class)."""
+        return self.emit(MicroOp(Opcode.FMOV, dst=_reg(dst), srcs=(_reg(a),)))
+
+    def fcvt(self, dst: RegLike, a: RegLike) -> MicroOp:
+        """Int/FP conversion (3-cycle class)."""
+        return self.emit(MicroOp(Opcode.FCVT, dst=_reg(dst), srcs=(_reg(a),)))
+
+    def fmul(self, dst: RegLike, a: RegLike, b: RegLike) -> MicroOp:
+        """Floating-point multiply (5-cycle class)."""
+        return self._alu(Opcode.FMUL, dst, a, b)
+
+    def fma(self, dst: RegLike, a: RegLike, b: RegLike, c: RegLike) -> MicroOp:
+        """Fused multiply-add ``dst = a * b + c`` (5-cycle class)."""
+        return self.emit(MicroOp(Opcode.FMA, dst=_reg(dst), srcs=(_reg(a), _reg(b), _reg(c))))
+
+    def fdiv(self, dst: RegLike, a: RegLike, b: RegLike) -> MicroOp:
+        """Floating-point divide (10-cycle, unpipelined class)."""
+        return self._alu(Opcode.FDIV, dst, a, b)
+
+    def fsqrt(self, dst: RegLike, a: RegLike) -> MicroOp:
+        """Square root (10-cycle, unpipelined class)."""
+        return self.emit(MicroOp(Opcode.FSQRT, dst=_reg(dst), srcs=(_reg(a),)))
+
+    # ------------------------------------------------------------------ memory
+    def ld(self, dst: RegLike, base: RegLike, offset: int = 0) -> MicroOp:
+        """``dst = memory[base + offset]`` (integer load)."""
+        return self.emit(MicroOp(Opcode.LD, dst=_reg(dst), srcs=(_reg(base),), imm=offset))
+
+    def fld(self, dst: RegLike, base: RegLike, offset: int = 0) -> MicroOp:
+        """``dst = memory[base + offset]`` (floating-point load)."""
+        return self.emit(MicroOp(Opcode.FLD, dst=_reg(dst), srcs=(_reg(base),), imm=offset))
+
+    def st(self, base: RegLike, data: RegLike, offset: int = 0) -> MicroOp:
+        """``memory[base + offset] = data`` (integer store)."""
+        return self.emit(MicroOp(Opcode.ST, srcs=(_reg(base), _reg(data)), imm=offset))
+
+    def fst(self, base: RegLike, data: RegLike, offset: int = 0) -> MicroOp:
+        """``memory[base + offset] = data`` (floating-point store)."""
+        return self.emit(MicroOp(Opcode.FST, srcs=(_reg(base), _reg(data)), imm=offset))
+
+    # ------------------------------------------------------------------ control flow
+    def _branch(self, opcode: Opcode, target: str) -> MicroOp:
+        return self.emit(MicroOp(opcode, srcs=(regs.FLAGS_REG,), target=target))
+
+    def beq(self, target: str) -> MicroOp:
+        """Branch if equal (ZF set)."""
+        return self._branch(Opcode.BEQ, target)
+
+    def bne(self, target: str) -> MicroOp:
+        """Branch if not equal (ZF clear)."""
+        return self._branch(Opcode.BNE, target)
+
+    def blt(self, target: str) -> MicroOp:
+        """Branch if (signed) less than."""
+        return self._branch(Opcode.BLT, target)
+
+    def bge(self, target: str) -> MicroOp:
+        """Branch if (signed) greater than or equal."""
+        return self._branch(Opcode.BGE, target)
+
+    def bgt(self, target: str) -> MicroOp:
+        """Branch if (signed) greater than."""
+        return self._branch(Opcode.BGT, target)
+
+    def ble(self, target: str) -> MicroOp:
+        """Branch if (signed) less than or equal."""
+        return self._branch(Opcode.BLE, target)
+
+    def bcs(self, target: str) -> MicroOp:
+        """Branch if carry set (depends on a flag the VP flag-approximation may get wrong)."""
+        return self._branch(Opcode.BCS, target)
+
+    def bvs(self, target: str) -> MicroOp:
+        """Branch if overflow set (depends on a flag the VP flag-approximation may get wrong)."""
+        return self._branch(Opcode.BVS, target)
+
+    def jmp(self, target: str) -> MicroOp:
+        """Unconditional direct jump."""
+        return self.emit(MicroOp(Opcode.JMP, target=target))
+
+    def jmpi(self, reg: RegLike) -> MicroOp:
+        """Indirect jump to the static PC held in ``reg``."""
+        return self.emit(MicroOp(Opcode.JMPI, srcs=(_reg(reg),)))
+
+    def call(self, target: str) -> MicroOp:
+        """Call ``target`` (pushes the return PC on the shadow call stack)."""
+        return self.emit(MicroOp(Opcode.CALL, target=target))
+
+    def ret(self) -> MicroOp:
+        """Return to the most recent caller (pops the shadow call stack)."""
+        return self.emit(MicroOp(Opcode.RET))
+
+    def nop(self) -> MicroOp:
+        """No operation."""
+        return self.emit(MicroOp(Opcode.NOP))

@@ -1,0 +1,324 @@
+"""Architectural (functional) emulator.
+
+The emulator executes a resolved :class:`~repro.isa.program.Program` at the
+architectural level and produces the committed µ-op stream as
+:class:`~repro.isa.trace.DynInst` records.  All values are 64-bit unsigned integers with
+wrap-around semantics; "floating-point" µ-ops operate on the same value domain but use
+distinct arithmetic so that FP-heavy kernels exhibit their own value locality patterns.
+
+Memory is a sparse word-granular store.  Addresses not written before being read return
+a deterministic pseudo-random value derived from the address, so that loads from
+untouched memory carry low value-predictability (mirroring pointer-chasing codes) while
+explicitly initialised arrays behave as the kernel dictates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import EmulationError
+from repro.isa import registers as regs
+from repro.isa.flags import (
+    MASK64,
+    SIGN_BIT,
+    ZF,
+    SF,
+    PF,
+    CF,
+    OF,
+    add_flags,
+    flags_from_result,
+    logic_flags,
+    sub_flags,
+)
+from repro.isa.opcode import Opcode
+from repro.isa.program import Program
+from repro.isa.trace import DynInst
+
+#: Multiplier used to synthesise the contents of untouched memory locations.
+_UNINITIALISED_MEMORY_MIX = 0x9E3779B97F4A7C15
+
+#: Static PC value meaning "the program has fallen off its end".
+HALT_PC = -1
+
+
+def _default_memory_value(address: int) -> int:
+    """Deterministic pseudo-random content of an untouched memory word.
+
+    Uses a splitmix64-style finaliser so that *all* bits (including the low bits read by
+    data-dependent branches) look random even for aligned addresses.
+    """
+    z = (address + _UNINITIALISED_MEMORY_MIX) & MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return (z ^ (z >> 31)) & MASK64
+
+
+class ArchState:
+    """Architectural machine state: registers, memory and the shadow call stack."""
+
+    __slots__ = ("regs", "memory", "call_stack")
+
+    def __init__(self) -> None:
+        self.regs: list[int] = [0] * regs.NUM_ARCH_REGS
+        self.memory: dict[int, int] = {}
+        self.call_stack: list[int] = []
+
+    def read_reg(self, reg: int) -> int:
+        """Architectural value of register ``reg``."""
+        return self.regs[reg]
+
+    def write_reg(self, reg: int, value: int) -> None:
+        """Write ``value`` (wrapped to 64 bits) to register ``reg``."""
+        self.regs[reg] = value & MASK64
+
+    def read_mem(self, address: int) -> int:
+        """Word-granular memory read (untouched words return a deterministic pattern)."""
+        value = self.memory.get(address)
+        if value is None:
+            return _default_memory_value(address)
+        return value
+
+    def write_mem(self, address: int, value: int) -> None:
+        """Word-granular memory write."""
+        self.memory[address] = value & MASK64
+
+    def initialise_array(self, base: int, values: list[int], stride: int = 8) -> None:
+        """Convenience helper: store ``values`` starting at ``base`` with ``stride``."""
+        for index, value in enumerate(values):
+            self.write_mem(base + index * stride, value)
+
+
+class Emulator:
+    """Step-wise architectural emulator producing the committed µ-op trace."""
+
+    def __init__(self, program: Program, state: ArchState | None = None) -> None:
+        if not program.resolved:
+            program.resolve()
+        self.program = program
+        self.state = state if state is not None else ArchState()
+        self.pc = 0
+        self.seq = 0
+        self.halted = False
+
+    # ------------------------------------------------------------------ helpers
+    def _branch_condition(self, opcode: Opcode, flags: int) -> bool:
+        if opcode is Opcode.BEQ:
+            return bool(flags & ZF)
+        if opcode is Opcode.BNE:
+            return not flags & ZF
+        if opcode is Opcode.BLT:
+            return bool(flags & SF) != bool(flags & OF)
+        if opcode is Opcode.BGE:
+            return bool(flags & SF) == bool(flags & OF)
+        if opcode is Opcode.BGT:
+            return not flags & ZF and bool(flags & SF) == bool(flags & OF)
+        if opcode is Opcode.BLE:
+            return bool(flags & ZF) or bool(flags & SF) != bool(flags & OF)
+        if opcode is Opcode.BCS:
+            return bool(flags & CF)
+        if opcode is Opcode.BVS:
+            return bool(flags & OF)
+        raise EmulationError(f"not a conditional branch: {opcode}")
+
+    # ------------------------------------------------------------------ stepping
+    def step(self) -> DynInst | None:
+        """Execute one µ-op and return its dynamic record, or ``None`` once halted."""
+        if self.halted:
+            return None
+        if not 0 <= self.pc < len(self.program):
+            self.halted = True
+            return None
+
+        program = self.program
+        state = self.state
+        pc = self.pc
+        uop = program[pc]
+        opcode = uop.opcode
+        imm = program.immediate_of(pc)
+
+        src_values = tuple(state.read_reg(s) for s in uop.srcs)
+        result: int | None = None
+        flags_result: int | None = None
+        flags_in: int | None = None
+        addr: int | None = None
+        store_value: int | None = None
+        taken = False
+        next_pc = pc + 1
+
+        a = src_values[0] if src_values else 0
+        b = src_values[1] if len(src_values) > 1 else (imm if imm is not None else 0)
+
+        if opcode is Opcode.ADD:
+            result = (a + b) & MASK64
+            if uop.sets_flags:
+                flags_result = add_flags(a, b)
+        elif opcode is Opcode.SUB:
+            result = (a - b) & MASK64
+            if uop.sets_flags:
+                flags_result = sub_flags(a, b)
+        elif opcode is Opcode.AND:
+            result = a & b
+            if uop.sets_flags:
+                flags_result = logic_flags(result)
+        elif opcode is Opcode.OR:
+            result = a | b
+            if uop.sets_flags:
+                flags_result = logic_flags(result)
+        elif opcode is Opcode.XOR:
+            result = a ^ b
+            if uop.sets_flags:
+                flags_result = logic_flags(result)
+        elif opcode is Opcode.SHL:
+            result = (a << (b & 63)) & MASK64
+            if uop.sets_flags:
+                flags_result = logic_flags(result)
+        elif opcode is Opcode.SHR:
+            result = (a & MASK64) >> (b & 63)
+            if uop.sets_flags:
+                flags_result = logic_flags(result)
+        elif opcode is Opcode.MOV:
+            result = a
+            if uop.sets_flags:
+                flags_result = flags_from_result(result)
+        elif opcode is Opcode.MOVI:
+            result = (imm if imm is not None else 0) & MASK64
+            if uop.sets_flags:
+                flags_result = flags_from_result(result)
+        elif opcode is Opcode.CMP:
+            flags_result = sub_flags(a, b)
+        elif opcode is Opcode.NOT:
+            result = (~a) & MASK64
+            if uop.sets_flags:
+                flags_result = logic_flags(result)
+        elif opcode is Opcode.NEG:
+            result = (-a) & MASK64
+            if uop.sets_flags:
+                flags_result = sub_flags(0, a)
+        elif opcode is Opcode.MIN:
+            result = min(a, b)
+            if uop.sets_flags:
+                flags_result = flags_from_result(result)
+        elif opcode is Opcode.MAX:
+            result = max(a, b)
+            if uop.sets_flags:
+                flags_result = flags_from_result(result)
+        elif opcode is Opcode.MUL:
+            result = (a * b) & MASK64
+            if uop.sets_flags:
+                flags_result = flags_from_result(result)
+        elif opcode is Opcode.DIV:
+            result = (a // b) & MASK64 if b else MASK64
+            if uop.sets_flags:
+                flags_result = flags_from_result(result)
+        elif opcode is Opcode.MOD:
+            result = (a % b) & MASK64 if b else 0
+            if uop.sets_flags:
+                flags_result = flags_from_result(result)
+        elif opcode is Opcode.FADD:
+            result = (a + b) & MASK64
+        elif opcode is Opcode.FSUB:
+            result = (a - b) & MASK64
+        elif opcode in (Opcode.FMOV, Opcode.FCVT):
+            result = a
+        elif opcode is Opcode.FMUL:
+            result = (a * b) & MASK64
+        elif opcode is Opcode.FMA:
+            c = src_values[2] if len(src_values) > 2 else 0
+            result = (a * b + c) & MASK64
+        elif opcode is Opcode.FDIV:
+            result = (a // b) & MASK64 if b else MASK64
+        elif opcode is Opcode.FSQRT:
+            result = int((a & MASK64) ** 0.5) & MASK64
+        elif opcode in (Opcode.LD, Opcode.FLD):
+            addr = (a + (imm if imm is not None else 0)) & MASK64
+            result = state.read_mem(addr)
+        elif opcode in (Opcode.ST, Opcode.FST):
+            addr = (a + (imm if imm is not None else 0)) & MASK64
+            store_value = src_values[1] if len(src_values) > 1 else 0
+            state.write_mem(addr, store_value)
+        elif uop.is_conditional_branch:
+            flags_in = state.read_reg(regs.FLAGS_REG)
+            taken = self._branch_condition(opcode, flags_in)
+            target = program.target_of(pc)
+            if target is None:
+                raise EmulationError(f"conditional branch at pc={pc} has no target")
+            next_pc = target if taken else pc + 1
+        elif opcode is Opcode.JMP:
+            target = program.target_of(pc)
+            if target is None:
+                raise EmulationError(f"jump at pc={pc} has no target")
+            taken = True
+            next_pc = target
+        elif opcode is Opcode.JMPI:
+            taken = True
+            next_pc = a & MASK64
+            if not 0 <= next_pc < len(program):
+                raise EmulationError(f"indirect jump at pc={pc} targets invalid pc {next_pc}")
+        elif opcode is Opcode.CALL:
+            target = program.target_of(pc)
+            if target is None:
+                raise EmulationError(f"call at pc={pc} has no target")
+            state.call_stack.append(pc + 1)
+            taken = True
+            next_pc = target
+        elif opcode is Opcode.RET:
+            taken = True
+            if state.call_stack:
+                next_pc = state.call_stack.pop()
+            else:
+                next_pc = HALT_PC
+        elif opcode is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - defensive, all opcodes are handled above
+            raise EmulationError(f"unimplemented opcode {opcode}")
+
+        if result is not None and uop.dst is not None:
+            state.write_reg(uop.dst, result)
+        if flags_result is not None:
+            state.write_reg(regs.FLAGS_REG, flags_result)
+
+        inst = DynInst(
+            seq=self.seq,
+            pc=pc,
+            uop=uop,
+            src_values=src_values,
+            result=result,
+            flags_result=flags_result,
+            flags_in=flags_in,
+            addr=addr,
+            store_value=store_value,
+            taken=taken,
+            next_pc=next_pc,
+        )
+        self.seq += 1
+        if next_pc == HALT_PC or not 0 <= next_pc < len(program):
+            self.halted = True
+            self.pc = HALT_PC
+        else:
+            self.pc = next_pc
+        return inst
+
+    def run(self, max_uops: int) -> Iterator[DynInst]:
+        """Yield up to ``max_uops`` dynamic µ-ops (stops early if the program halts)."""
+        produced = 0
+        while produced < max_uops:
+            inst = self.step()
+            if inst is None:
+                break
+            produced += 1
+            yield inst
+
+
+def generate_trace(
+    program: Program, max_uops: int, state: ArchState | None = None
+) -> Iterator[DynInst]:
+    """Convenience wrapper: lazily emit the committed trace of ``program``."""
+    return Emulator(program, state=state).run(max_uops)
+
+
+def collect_trace(
+    program: Program, max_uops: int, state: ArchState | None = None
+) -> list[DynInst]:
+    """Materialise the committed trace of ``program`` (at most ``max_uops`` µ-ops)."""
+    return list(generate_trace(program, max_uops, state=state))

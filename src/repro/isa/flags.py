@@ -1,0 +1,107 @@
+"""Architectural flags and their derivation from predicted values.
+
+The paper (Section 4.2, "x86 Flags") assumes flags are computed as the last step of
+Value Prediction, based on the predicted value:
+
+* the Zero, Sign and Parity flags can be derived exactly from the predicted result;
+* the Overflow flag is always assumed 0 and the Carry flag is approximated as equal to
+  the Sign flag;
+* the Adjust flag is ignored (x86_64 forbids decimal arithmetic).
+
+This module implements both the *exact* flag computation used by the architectural
+emulator and the *approximate* derivation used when a value prediction stands in for the
+actual result.  Comparing the two tells the validation logic whether using a prediction
+would have produced a wrong flags register even though the 64-bit value itself was
+predicted correctly.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+# Flag bit positions within the architectural flags register value.
+ZF = 1 << 0  # zero
+SF = 1 << 1  # sign
+PF = 1 << 2  # parity (of the low byte)
+CF = 1 << 3  # carry
+OF = 1 << 4  # overflow
+
+ALL_FLAGS = ZF | SF | PF | CF | OF
+
+#: Flags that can be derived exactly from a 64-bit result value alone.
+RESULT_DERIVED_FLAGS = ZF | SF | PF
+
+
+def _parity(value: int) -> bool:
+    """Even-parity of the low byte, like the x86 PF flag."""
+    return bin(value & 0xFF).count("1") % 2 == 0
+
+
+def flags_from_result(result: int) -> int:
+    """Exact ZF/SF/PF derived from ``result`` (no carry/overflow information)."""
+    result &= MASK64
+    flags = 0
+    if result == 0:
+        flags |= ZF
+    if result & SIGN_BIT:
+        flags |= SF
+    if _parity(result):
+        flags |= PF
+    return flags
+
+
+def exact_flags(result: int, carry: bool, overflow: bool) -> int:
+    """Exact architectural flags for ``result`` with known carry/overflow bits."""
+    flags = flags_from_result(result)
+    if carry:
+        flags |= CF
+    if overflow:
+        flags |= OF
+    return flags
+
+
+def approximate_flags(predicted_result: int) -> int:
+    """Flags derived from a predicted result using the paper's approximation.
+
+    ZF, SF and PF are exact; OF is forced to 0; CF is set iff SF is set.
+    """
+    flags = flags_from_result(predicted_result)
+    if flags & SF:
+        flags |= CF
+    return flags
+
+
+def add_flags(a: int, b: int) -> int:
+    """Exact flags of the 64-bit addition ``a + b``."""
+    a &= MASK64
+    b &= MASK64
+    full = a + b
+    result = full & MASK64
+    carry = full > MASK64
+    overflow = ((a ^ result) & (b ^ result) & SIGN_BIT) != 0
+    return exact_flags(result, carry, overflow)
+
+
+def sub_flags(a: int, b: int) -> int:
+    """Exact flags of the 64-bit subtraction ``a - b`` (x86 ``CMP`` semantics)."""
+    a &= MASK64
+    b &= MASK64
+    result = (a - b) & MASK64
+    carry = a < b  # borrow
+    overflow = ((a ^ b) & (a ^ result) & SIGN_BIT) != 0
+    return exact_flags(result, carry, overflow)
+
+
+def logic_flags(result: int) -> int:
+    """Exact flags of a logical operation: CF and OF are cleared."""
+    return flags_from_result(result)
+
+
+def flags_match_for_validation(exact: int, approximate: int) -> bool:
+    """True if the approximated flags are acceptable at validation time.
+
+    The paper considers a prediction incorrect if the *architecturally visible* flags
+    differ.  All five modelled flags are compared (AF does not exist in this ISA).
+    """
+    return (exact & ALL_FLAGS) == (approximate & ALL_FLAGS)

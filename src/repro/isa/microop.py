@@ -1,0 +1,192 @@
+"""Static micro-operations (µ-ops).
+
+A :class:`MicroOp` is one element of a :class:`~repro.isa.program.Program`.  It is a
+*static* instruction: the architectural emulator turns it into dynamic instances
+(:class:`~repro.isa.trace.DynInst`) every time control flow reaches it.
+
+The µ-op model follows the paper's conventions:
+
+* at most one destination register, plus an optional implicit write of the flags
+  register (``sets_flags``);
+* value-prediction eligibility is "produces a result of 64 bits or less that can be read
+  by a subsequent µ-op" (Section 4.2), i.e. every µ-op with a destination register;
+* loads and stores compute their address as ``base register + immediate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramError
+from repro.isa import registers as regs
+from repro.isa.opcode import (
+    Opcode,
+    OpClass,
+    is_branch,
+    is_conditional_branch,
+    is_load,
+    is_memory,
+    is_single_cycle_alu,
+    is_store,
+    latency_of,
+    opclass_of,
+)
+
+#: Opcodes that take a control-flow target label.
+_TARGET_OPCODES = frozenset(
+    {
+        Opcode.BEQ,
+        Opcode.BNE,
+        Opcode.BLT,
+        Opcode.BGE,
+        Opcode.BGT,
+        Opcode.BLE,
+        Opcode.BCS,
+        Opcode.BVS,
+        Opcode.JMP,
+        Opcode.CALL,
+    }
+)
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """A static micro-operation.
+
+    Parameters
+    ----------
+    opcode:
+        The operation to perform.
+    dst:
+        Destination register id, or ``None`` for µ-ops that do not produce a register
+        result (stores, branches, ``nop``, ``cmp``).
+    srcs:
+        Source register ids, in operand order.  Conditional branches implicitly source
+        the flags register; loads source their base register; stores source
+        ``(base, data)``.
+    imm:
+        Immediate operand (second ALU operand, address offset, or ``movi`` value).
+    target:
+        Control-flow target label for direct branches/jumps/calls.  Resolved to a static
+        PC by :meth:`repro.isa.program.Program.resolve`.
+    sets_flags:
+        Whether this µ-op writes the architectural flags register.
+    imm_label:
+        If set, the immediate is the static PC of this label (used to materialise
+        indirect-branch targets); resolved together with ``target``.
+    """
+
+    opcode: Opcode
+    dst: int | None = None
+    srcs: tuple[int, ...] = ()
+    imm: int | None = None
+    target: str | None = None
+    sets_flags: bool = False
+    imm_label: str | None = None
+    comment: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        for reg in self.srcs:
+            if not regs.is_valid_reg(reg):
+                raise ProgramError(f"{self.opcode.value}: invalid source register id {reg}")
+        if self.dst is not None and not regs.is_valid_reg(self.dst):
+            raise ProgramError(f"{self.opcode.value}: invalid destination register id {self.dst}")
+        if self.opcode in _TARGET_OPCODES and self.target is None:
+            raise ProgramError(f"{self.opcode.value}: missing branch target label")
+        if self.opcode not in _TARGET_OPCODES and self.target is not None:
+            raise ProgramError(f"{self.opcode.value}: unexpected branch target label")
+        if self.opcode is Opcode.CMP and not self.sets_flags:
+            object.__setattr__(self, "sets_flags", True)
+        if self.sets_flags and self.opclass not in (
+            OpClass.INT_ALU,
+            OpClass.INT_MUL,
+            OpClass.INT_DIV,
+        ):
+            raise ProgramError(f"{self.opcode.value}: only integer µ-ops may set flags")
+
+    # ------------------------------------------------------------------ properties
+    @property
+    def opclass(self) -> OpClass:
+        """Operation class (scheduling / FU / EOLE-eligibility class)."""
+        return opclass_of(self.opcode)
+
+    @property
+    def latency(self) -> int:
+        """Fixed execution latency in cycles (loads: address generation only)."""
+        return latency_of(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-flow µ-op."""
+        return is_branch(self.opcode)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for conditional branches."""
+        return is_conditional_branch(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return is_load(self.opcode)
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return is_store(self.opcode)
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return is_memory(self.opcode)
+
+    @property
+    def is_single_cycle_alu(self) -> bool:
+        """True for single-cycle ALU µ-ops (Early/Late-Execution candidates)."""
+        return is_single_cycle_alu(self.opcode)
+
+    @property
+    def reads_flags(self) -> bool:
+        """True if this µ-op sources the architectural flags register."""
+        return self.is_conditional_branch
+
+    @property
+    def writes_flags(self) -> bool:
+        """True if this µ-op writes the architectural flags register."""
+        return self.sets_flags
+
+    @property
+    def vp_eligible(self) -> bool:
+        """Value-prediction eligibility per Section 4.2 (produces a readable result)."""
+        return self.dst is not None
+
+    # ------------------------------------------------------------------ helpers
+    def source_registers(self) -> tuple[int, ...]:
+        """All architectural registers read by this µ-op, including implicit flags."""
+        if self.reads_flags:
+            return self.srcs + (regs.FLAGS_REG,)
+        return self.srcs
+
+    def destination_registers(self) -> tuple[int, ...]:
+        """All architectural registers written by this µ-op, including implicit flags."""
+        dsts: tuple[int, ...] = ()
+        if self.dst is not None:
+            dsts += (self.dst,)
+        if self.writes_flags:
+            dsts += (regs.FLAGS_REG,)
+        return dsts
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value]
+        if self.dst is not None:
+            parts.append(regs.reg_name(self.dst))
+        parts.extend(regs.reg_name(s) for s in self.srcs)
+        if self.imm is not None:
+            parts.append(f"#{self.imm}")
+        if self.imm_label is not None:
+            parts.append(f"#@{self.imm_label}")
+        if self.target is not None:
+            parts.append(f"->{self.target}")
+        if self.sets_flags:
+            parts.append("[flags]")
+        return " ".join(parts)

@@ -1,0 +1,226 @@
+"""Opcodes, operation classes and execution latencies of the reproduction ISA.
+
+The ISA deliberately mirrors the µ-op classes and latencies of the paper's baseline
+machine (Table 1):
+
+=================  ==========  ====================================================
+Operation class    Latency     Notes
+=================  ==========  ====================================================
+``INT_ALU``        1 cycle     EOLE's Early/Late-Execution candidates
+``INT_MUL``        3 cycles    pipelined
+``INT_DIV``        25 cycles   not pipelined
+``FP_ALU``         3 cycles    pipelined
+``FP_MUL``         5 cycles    pipelined
+``FP_DIV``         10 cycles   not pipelined
+``LOAD``           cache       latency comes from the memory hierarchy model
+``STORE``          1 cycle     address generation; data written at commit
+``BR_COND`` etc.   1 cycle     resolved on an ALU port
+=================  ==========  ====================================================
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum, unique
+
+
+@unique
+class OpClass(IntEnum):
+    """Coarse operation class used for scheduling, FU selection and EOLE eligibility."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ALU = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE = 7
+    BR_COND = 8
+    BR_DIRECT = 9
+    BR_INDIRECT = 10
+    CALL = 11
+    RET = 12
+    NOP = 13
+
+
+#: Fixed execution latency per operation class, in cycles.  ``LOAD`` is listed with its
+#: address-generation latency only; the cache hierarchy adds the access latency.
+OPCLASS_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 25,
+    OpClass.FP_ALU: 3,
+    OpClass.FP_MUL: 5,
+    OpClass.FP_DIV: 10,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BR_COND: 1,
+    OpClass.BR_DIRECT: 1,
+    OpClass.BR_INDIRECT: 1,
+    OpClass.CALL: 1,
+    OpClass.RET: 1,
+    OpClass.NOP: 1,
+}
+
+#: Operation classes whose functional unit is not pipelined (Table 1: MulDiv 3c/25c*,
+#: FPMulDiv 5c/10c* — the division latencies are marked "not pipelined").
+UNPIPELINED_CLASSES: frozenset[OpClass] = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+#: Classes that are single-cycle ALU operations — the only ones eligible for Early and
+#: Late Execution in the paper (Sections 3.2 and 3.3).
+SINGLE_CYCLE_ALU_CLASSES: frozenset[OpClass] = frozenset({OpClass.INT_ALU})
+
+#: Branch classes.
+BRANCH_CLASSES: frozenset[OpClass] = frozenset(
+    {OpClass.BR_COND, OpClass.BR_DIRECT, OpClass.BR_INDIRECT, OpClass.CALL, OpClass.RET}
+)
+
+#: Memory classes.
+MEMORY_CLASSES: frozenset[OpClass] = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+@unique
+class Opcode(Enum):
+    """Concrete µ-ops of the reproduction ISA."""
+
+    # Integer single-cycle ALU.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MOV = "mov"
+    MOVI = "movi"
+    CMP = "cmp"
+    NOT = "not"
+    NEG = "neg"
+    MIN = "min"
+    MAX = "max"
+    # Integer multi-cycle.
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    # Floating-point (modelled over the integer value domain, see isa/emulator.py).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMOV = "fmov"
+    FCVT = "fcvt"
+    FMUL = "fmul"
+    FMA = "fma"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    # Memory.
+    LD = "ld"
+    FLD = "fld"
+    ST = "st"
+    FST = "fst"
+    # Control flow.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BGT = "bgt"
+    BLE = "ble"
+    BCS = "bcs"
+    BVS = "bvs"
+    JMP = "jmp"
+    JMPI = "jmpi"
+    CALL = "call"
+    RET = "ret"
+    # Miscellaneous.
+    NOP = "nop"
+
+
+#: Map from opcode to its operation class.
+OPCODE_CLASS: dict[Opcode, OpClass] = {
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.SHL: OpClass.INT_ALU,
+    Opcode.SHR: OpClass.INT_ALU,
+    Opcode.MOV: OpClass.INT_ALU,
+    Opcode.MOVI: OpClass.INT_ALU,
+    Opcode.CMP: OpClass.INT_ALU,
+    Opcode.NOT: OpClass.INT_ALU,
+    Opcode.NEG: OpClass.INT_ALU,
+    Opcode.MIN: OpClass.INT_ALU,
+    Opcode.MAX: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MUL,
+    Opcode.DIV: OpClass.INT_DIV,
+    Opcode.MOD: OpClass.INT_DIV,
+    Opcode.FADD: OpClass.FP_ALU,
+    Opcode.FSUB: OpClass.FP_ALU,
+    Opcode.FMOV: OpClass.FP_ALU,
+    Opcode.FCVT: OpClass.FP_ALU,
+    Opcode.FMUL: OpClass.FP_MUL,
+    Opcode.FMA: OpClass.FP_MUL,
+    Opcode.FDIV: OpClass.FP_DIV,
+    Opcode.FSQRT: OpClass.FP_DIV,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.FLD: OpClass.LOAD,
+    Opcode.ST: OpClass.STORE,
+    Opcode.FST: OpClass.STORE,
+    Opcode.BEQ: OpClass.BR_COND,
+    Opcode.BNE: OpClass.BR_COND,
+    Opcode.BLT: OpClass.BR_COND,
+    Opcode.BGE: OpClass.BR_COND,
+    Opcode.BGT: OpClass.BR_COND,
+    Opcode.BLE: OpClass.BR_COND,
+    Opcode.BCS: OpClass.BR_COND,
+    Opcode.BVS: OpClass.BR_COND,
+    Opcode.JMP: OpClass.BR_DIRECT,
+    Opcode.JMPI: OpClass.BR_INDIRECT,
+    Opcode.CALL: OpClass.CALL,
+    Opcode.RET: OpClass.RET,
+    Opcode.NOP: OpClass.NOP,
+}
+
+#: Conditional branch opcodes that depend on flags bits that cannot be derived exactly
+#: from a predicted result (Carry / Overflow, Section 4.2): a branch of this kind that
+#: consumes approximated flags can be mis-resolved even when the value prediction of the
+#: flag producer is numerically correct.
+APPROXIMATE_FLAG_BRANCHES: frozenset[Opcode] = frozenset({Opcode.BCS, Opcode.BVS})
+
+
+def opclass_of(opcode: Opcode) -> OpClass:
+    """Return the :class:`OpClass` of ``opcode``."""
+    return OPCODE_CLASS[opcode]
+
+
+def latency_of(opcode: Opcode) -> int:
+    """Return the fixed execution latency of ``opcode`` (loads: address generation only)."""
+    return OPCLASS_LATENCY[OPCODE_CLASS[opcode]]
+
+
+def is_branch(opcode: Opcode) -> bool:
+    """True if ``opcode`` is any kind of control-flow instruction."""
+    return OPCODE_CLASS[opcode] in BRANCH_CLASSES
+
+
+def is_conditional_branch(opcode: Opcode) -> bool:
+    """True if ``opcode`` is a conditional branch."""
+    return OPCODE_CLASS[opcode] is OpClass.BR_COND
+
+
+def is_memory(opcode: Opcode) -> bool:
+    """True if ``opcode`` accesses memory."""
+    return OPCODE_CLASS[opcode] in MEMORY_CLASSES
+
+
+def is_load(opcode: Opcode) -> bool:
+    """True if ``opcode`` is a load."""
+    return OPCODE_CLASS[opcode] is OpClass.LOAD
+
+
+def is_store(opcode: Opcode) -> bool:
+    """True if ``opcode`` is a store."""
+    return OPCODE_CLASS[opcode] is OpClass.STORE
+
+
+def is_single_cycle_alu(opcode: Opcode) -> bool:
+    """True if ``opcode`` is a single-cycle ALU operation (EE/LE candidate)."""
+    return OPCODE_CLASS[opcode] in SINGLE_CYCLE_ALU_CLASSES

@@ -1,0 +1,84 @@
+"""Architectural register namespace of the reproduction ISA.
+
+The ISA is a simple register machine with 32 integer registers (``r0``..``r31``), 32
+floating-point registers (``f0``..``f31``) and a single architectural flags register.
+Register operands are carried around as small integers so that hot simulator loops can
+index plain lists instead of hashing strings:
+
+* integer registers occupy ids ``0 .. 31``
+* floating-point registers occupy ids ``32 .. 63``
+* the flags register is id ``64``
+
+The flags register is written by flag-setting ALU µ-ops and by ``CMP``, and read by
+conditional branches, mirroring the x86-style flag dependencies discussed in the paper
+(Section 4.2, "x86 Flags").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+INT_REG_BASE = 0
+FP_REG_BASE = NUM_INT_REGS
+FLAGS_REG = NUM_INT_REGS + NUM_FP_REGS
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS + 1
+
+
+def int_reg(index: int) -> int:
+    """Return the register id of integer register ``r<index>``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ProgramError(f"integer register index out of range: {index}")
+    return INT_REG_BASE + index
+
+
+def fp_reg(index: int) -> int:
+    """Return the register id of floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ProgramError(f"floating-point register index out of range: {index}")
+    return FP_REG_BASE + index
+
+
+def is_int_reg(reg: int) -> bool:
+    """True if ``reg`` names an integer register."""
+    return INT_REG_BASE <= reg < INT_REG_BASE + NUM_INT_REGS
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if ``reg`` names a floating-point register."""
+    return FP_REG_BASE <= reg < FP_REG_BASE + NUM_FP_REGS
+
+
+def is_flags_reg(reg: int) -> bool:
+    """True if ``reg`` is the architectural flags register."""
+    return reg == FLAGS_REG
+
+
+def is_valid_reg(reg: int) -> bool:
+    """True if ``reg`` is any valid architectural register id."""
+    return 0 <= reg < NUM_ARCH_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Human readable name of a register id (``r3``, ``f7`` or ``flags``)."""
+    if is_int_reg(reg):
+        return f"r{reg - INT_REG_BASE}"
+    if is_fp_reg(reg):
+        return f"f{reg - FP_REG_BASE}"
+    if is_flags_reg(reg):
+        return "flags"
+    raise ProgramError(f"invalid register id: {reg}")
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name (``"r5"``, ``"f12"``, ``"flags"``) into a register id."""
+    name = name.strip().lower()
+    if name == "flags":
+        return FLAGS_REG
+    if len(name) >= 2 and name[0] == "r" and name[1:].isdigit():
+        return int_reg(int(name[1:]))
+    if len(name) >= 2 and name[0] == "f" and name[1:].isdigit():
+        return fp_reg(int(name[1:]))
+    raise ProgramError(f"cannot parse register name: {name!r}")

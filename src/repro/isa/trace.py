@@ -1,0 +1,163 @@
+"""Dynamic instruction records and trace helpers.
+
+The architectural emulator (:mod:`repro.isa.emulator`) turns a static
+:class:`~repro.isa.program.Program` into a stream of :class:`DynInst` records — the
+committed, correct-path µ-op trace.  The timing simulator consumes this stream: it is a
+trace-driven model (wrong-path instructions are not simulated; their cost is accounted
+through front-end refill penalties, see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.isa.microop import MicroOp
+from repro.isa.opcode import OpClass
+
+
+class DynInst:
+    """One dynamic (committed) instance of a static µ-op.
+
+    Attributes
+    ----------
+    seq:
+        Global sequence number in commit order, starting at 0.
+    pc:
+        Static PC (index into the program) of the µ-op.
+    uop:
+        The static µ-op.
+    src_values:
+        Architectural values of the explicit source registers, in operand order.
+    result:
+        Architectural result value (``None`` for µ-ops without a destination register).
+    flags_result:
+        Value written to the flags register (``None`` if the µ-op does not set flags).
+    flags_in:
+        Value of the flags register read by conditional branches (``None`` otherwise).
+    addr:
+        Effective memory address for loads/stores (``None`` otherwise).
+    store_value:
+        Value written to memory by stores (``None`` otherwise).
+    taken:
+        Branch outcome (``False`` for non-branches).
+    next_pc:
+        Static PC of the next dynamic instruction in the trace.
+    """
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "uop",
+        "src_values",
+        "result",
+        "flags_result",
+        "flags_in",
+        "addr",
+        "store_value",
+        "taken",
+        "next_pc",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        uop: MicroOp,
+        src_values: tuple[int, ...] = (),
+        result: int | None = None,
+        flags_result: int | None = None,
+        flags_in: int | None = None,
+        addr: int | None = None,
+        store_value: int | None = None,
+        taken: bool = False,
+        next_pc: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.uop = uop
+        self.src_values = src_values
+        self.result = result
+        self.flags_result = flags_result
+        self.flags_in = flags_in
+        self.addr = addr
+        self.store_value = store_value
+        self.taken = taken
+        self.next_pc = next_pc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynInst(seq={self.seq}, pc={self.pc}, uop={self.uop}, result={self.result}, "
+            f"taken={self.taken}, next_pc={self.next_pc})"
+        )
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate statistics over a dynamic trace, used to characterise workloads."""
+
+    total: int = 0
+    per_class: dict[OpClass, int] = field(default_factory=dict)
+    branches: int = 0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    vp_eligible: int = 0
+    distinct_pcs: int = 0
+    distinct_load_addresses: int = 0
+
+    @property
+    def branch_ratio(self) -> float:
+        """Fraction of dynamic µ-ops that are control-flow."""
+        return self.branches / self.total if self.total else 0.0
+
+    @property
+    def memory_ratio(self) -> float:
+        """Fraction of dynamic µ-ops that access memory."""
+        return (self.loads + self.stores) / self.total if self.total else 0.0
+
+    @property
+    def vp_eligible_ratio(self) -> float:
+        """Fraction of dynamic µ-ops eligible for value prediction."""
+        return self.vp_eligible / self.total if self.total else 0.0
+
+    def class_ratio(self, opclass: OpClass) -> float:
+        """Fraction of dynamic µ-ops belonging to ``opclass``."""
+        return self.per_class.get(opclass, 0) / self.total if self.total else 0.0
+
+
+def characterize(trace: Iterable[DynInst]) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` over ``trace``."""
+    stats = TraceStatistics()
+    pcs: set[int] = set()
+    load_addrs: set[int] = set()
+    for inst in trace:
+        stats.total += 1
+        opclass = inst.uop.opclass
+        stats.per_class[opclass] = stats.per_class.get(opclass, 0) + 1
+        pcs.add(inst.pc)
+        if inst.uop.is_branch:
+            stats.branches += 1
+            if inst.taken:
+                stats.taken_branches += 1
+        if inst.uop.is_load:
+            stats.loads += 1
+            if inst.addr is not None:
+                load_addrs.add(inst.addr)
+        if inst.uop.is_store:
+            stats.stores += 1
+        if inst.uop.vp_eligible:
+            stats.vp_eligible += 1
+    stats.distinct_pcs = len(pcs)
+    stats.distinct_load_addresses = len(load_addrs)
+    return stats
+
+
+def take(trace: Iterator[DynInst], count: int) -> list[DynInst]:
+    """Materialise up to ``count`` dynamic instructions from ``trace``."""
+    out: list[DynInst] = []
+    for inst in trace:
+        out.append(inst)
+        if len(out) >= count:
+            break
+    return out

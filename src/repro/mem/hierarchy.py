@@ -1,0 +1,103 @@
+"""The full memory hierarchy of the baseline machine (Table 1).
+
+``L1I`` and ``L1D`` are 4-way 32 KB caches (2-cycle L1D), backed by a unified 16-way
+2 MB L2 (12 cycles) with a degree-8 stride prefetcher, backed by the DDR3-like DRAM
+model (75–185 cycles).  The hierarchy exposes three latency oracles used by the
+pipeline: instruction fetch, data load and data store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAMModel
+from repro.mem.prefetcher import StridePrefetcher
+
+
+@dataclass
+class MemoryHierarchyConfig:
+    """Geometry and latency knobs of the memory hierarchy (defaults: Table 1)."""
+
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 4
+    l1i_latency: int = 1
+    l1d_size: int = 32 * 1024
+    l1d_assoc: int = 4
+    l1d_latency: int = 2
+    l1_mshrs: int = 64
+    l2_size: int = 2 * 1024 * 1024
+    l2_assoc: int = 16
+    l2_latency: int = 12
+    l2_mshrs: int = 64
+    line_size: int = 64
+    prefetch_degree: int = 8
+    prefetch_distance: int = 1
+    dram_min_latency: int = 75
+    dram_max_latency: int = 185
+
+
+class MemoryHierarchy:
+    """L1I + L1D + unified L2 + stride prefetcher + DRAM."""
+
+    def __init__(self, config: MemoryHierarchyConfig | None = None) -> None:
+        self.config = config if config is not None else MemoryHierarchyConfig()
+        cfg = self.config
+        self.l1i = Cache(
+            "L1I", cfg.l1i_size, cfg.l1i_assoc, cfg.line_size, cfg.l1i_latency, cfg.l1_mshrs
+        )
+        self.l1d = Cache(
+            "L1D", cfg.l1d_size, cfg.l1d_assoc, cfg.line_size, cfg.l1d_latency, cfg.l1_mshrs
+        )
+        self.l2 = Cache(
+            "L2", cfg.l2_size, cfg.l2_assoc, cfg.line_size, cfg.l2_latency, cfg.l2_mshrs
+        )
+        self.prefetcher = StridePrefetcher(cfg.prefetch_degree, cfg.prefetch_distance)
+        self.dram = DRAMModel(cfg.dram_min_latency, cfg.dram_max_latency)
+
+    # ------------------------------------------------------------------ data side
+    def _l2_and_beyond(self, address: int, cycle: int) -> int:
+        """Latency of an access that missed in the L1D, starting at the L2."""
+        latency = self.config.l2_latency
+        if not self.l2.access(address):
+            dram_latency = self.dram.read(address, cycle + latency)
+            latency += dram_latency
+            latency += self.l2.mshr_delay(cycle, cycle + latency)
+        return latency
+
+    def load(self, address: int, pc: int, cycle: int) -> int:
+        """Total latency, in cycles, of a demand load issued at ``cycle``."""
+        latency = self.config.l1d_latency
+        if not self.l1d.access(address):
+            latency += self._l2_and_beyond(address, cycle + latency)
+            latency += self.l1d.mshr_delay(cycle, cycle + latency)
+        for prefetch_address in self.prefetcher.observe(pc, address):
+            self.l2.fill(prefetch_address)
+        return latency
+
+    def store(self, address: int, pc: int, cycle: int) -> int:
+        """Latency charged to a store's cache update (performed post-commit).
+
+        Stores retire through a write buffer, so this latency does not stall commit in
+        the pipeline model; it is still computed so that store misses warm the caches
+        and occupy DRAM banks.
+        """
+        latency = self.config.l1d_latency
+        if not self.l1d.access(address):
+            latency += self._l2_and_beyond(address, cycle + latency)
+        for prefetch_address in self.prefetcher.observe(pc, address):
+            self.l2.fill(prefetch_address)
+        return latency
+
+    # ------------------------------------------------------------------ instruction side
+    def fetch(self, pc: int, cycle: int) -> int:
+        """Latency of fetching the cache line holding static ``pc``.
+
+        Static PCs are µ-op indices; they are scaled by a nominal 4 bytes per µ-op to
+        form instruction addresses.
+        """
+        address = pc * 4
+        latency = self.config.l1i_latency
+        if not self.l1i.access(address):
+            latency += self._l2_and_beyond(address, cycle + latency)
+        return latency

@@ -1,0 +1,104 @@
+"""In-flight instruction records used by the timing pipeline.
+
+An :class:`InflightOp` wraps one :class:`~repro.isa.trace.DynInst` while it lives in the
+machine, carrying the timing fields that the fetch, rename/dispatch, issue, execute and
+commit models fill in.  It is deliberately a plain ``__slots__`` record (not a
+dataclass) because hundreds of thousands of them are created per simulation.
+"""
+
+from __future__ import annotations
+
+from repro.bpu.unit import BranchOutcome
+from repro.isa.trace import DynInst
+from repro.vp.base import VPrediction
+
+#: Sentinel used for "not yet known" cycle fields.
+UNKNOWN_CYCLE = -1
+
+
+class InflightOp:
+    """One µ-op in flight between fetch and commit."""
+
+    __slots__ = (
+        "dyn",
+        "seq",
+        "pc",
+        "uop",
+        # Timing.
+        "fetch_cycle",
+        "dispatch_ready_cycle",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "commit_cycle",
+        # Dataflow.
+        "producers",
+        "flags_producer",
+        "mem_dependence",
+        # Value prediction.
+        "prediction",
+        "pred_used",
+        # EOLE.
+        "early_executed",
+        "late_executed",
+        # Branch prediction.
+        "branch_outcome",
+        # Bookkeeping.
+        "in_issue_queue",
+        "issued",
+        "executed",
+        "squashed",
+        "dest_bank",
+        "history_snapshot",
+        "load_forwarded",
+    )
+
+    def __init__(self, dyn: DynInst) -> None:
+        self.dyn = dyn
+        self.seq = dyn.seq
+        self.pc = dyn.pc
+        self.uop = dyn.uop
+        self.fetch_cycle = UNKNOWN_CYCLE
+        self.dispatch_ready_cycle = UNKNOWN_CYCLE
+        self.dispatch_cycle = UNKNOWN_CYCLE
+        self.issue_cycle = UNKNOWN_CYCLE
+        self.complete_cycle = UNKNOWN_CYCLE
+        self.commit_cycle = UNKNOWN_CYCLE
+        self.producers: tuple[InflightOp | None, ...] = ()
+        self.flags_producer: InflightOp | None = None
+        self.mem_dependence: InflightOp | None = None
+        self.prediction: VPrediction | None = None
+        self.pred_used = False
+        self.early_executed = False
+        self.late_executed = False
+        self.branch_outcome: BranchOutcome | None = None
+        self.in_issue_queue = False
+        self.issued = False
+        self.executed = False
+        self.squashed = False
+        self.dest_bank = 0
+        self.history_snapshot = 0
+        self.load_forwarded = False
+
+    # ------------------------------------------------------------------ dataflow helpers
+    def result_available_cycle(self) -> int:
+        """Cycle from which dependents may consume this µ-op's register result.
+
+        Predicted (used) and early-executed results are written to the PRF at dispatch,
+        so they are available from the dispatch cycle; everything else becomes available
+        when execution completes.  Returns :data:`UNKNOWN_CYCLE` if not yet known.
+        """
+        if self.pred_used or self.early_executed:
+            return self.dispatch_cycle
+        return self.complete_cycle
+
+    def bypasses_ooo_engine(self) -> bool:
+        """True if this µ-op never enters the out-of-order engine (EOLE's offload)."""
+        return self.early_executed or self.late_executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InflightOp(seq={self.seq}, pc={self.pc}, op={self.uop.opcode.value}, "
+            f"dispatch={self.dispatch_cycle}, issue={self.issue_cycle}, "
+            f"complete={self.complete_cycle}, ee={self.early_executed}, le={self.late_executed})"
+        )

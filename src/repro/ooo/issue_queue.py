@@ -1,0 +1,95 @@
+"""The unified instruction queue (scheduler) of the out-of-order engine.
+
+The baseline uses a unified, centralised 64-entry IQ (Table 1); entries are released at
+issue.  Selection is age-ordered (oldest ready first), which is the behaviour the
+paper's gem5 baseline models.  Wakeup is modelled by evaluating operand readiness
+against producer completion times (see :meth:`IssueQueue.select`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.ooo.functional_units import FunctionalUnitPool
+from repro.ooo.inflight import InflightOp, UNKNOWN_CYCLE
+
+
+class IssueQueue:
+    """Bounded, age-ordered instruction queue with issue-width-limited select."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("IQ capacity must be positive")
+        self.capacity = capacity
+        self._entries: list[InflightOp] = []
+        self.peak_occupancy = 0
+        self.full_stall_events = 0
+
+    # ------------------------------------------------------------------ capacity
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def occupancy(self) -> int:
+        """Current number of waiting µ-ops."""
+        return len(self._entries)
+
+    def has_space(self, count: int = 1) -> bool:
+        """True if ``count`` more µ-ops fit."""
+        return len(self._entries) + count <= self.capacity
+
+    # ------------------------------------------------------------------ mutation
+    def insert(self, op: InflightOp) -> None:
+        """Dispatch ``op`` into the queue."""
+        op.in_issue_queue = True
+        self._entries.append(op)
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
+
+    def remove_squashed(self) -> None:
+        """Drop entries that have been squashed by a pipeline flush."""
+        self._entries = [op for op in self._entries if not op.squashed]
+
+    # ------------------------------------------------------------------ select
+    def select(
+        self,
+        cycle: int,
+        issue_width: int,
+        fu_pool: FunctionalUnitPool,
+        is_ready: Callable[[InflightOp, int], bool],
+        latency_of: Callable[[InflightOp], int],
+    ) -> list[InflightOp]:
+        """Select up to ``issue_width`` ready µ-ops, oldest first.
+
+        ``is_ready`` decides operand/memory-dependence readiness at ``cycle``;
+        ``latency_of`` supplies the execution latency used to reserve unpipelined units.
+        Selected entries are removed from the queue (entries are released at issue, as
+        in the baseline machine).
+        """
+        if not self._entries or issue_width <= 0:
+            return []
+        selected: list[InflightOp] = []
+        remaining: list[InflightOp] = []
+        # Entries are kept in dispatch order, so a single pass is age-ordered select.
+        for op in self._entries:
+            if len(selected) >= issue_width:
+                remaining.append(op)
+                continue
+            if op.squashed:
+                continue
+            if not is_ready(op, cycle):
+                remaining.append(op)
+                continue
+            if not fu_pool.try_issue(op.uop.opclass, cycle, latency_of(op)):
+                remaining.append(op)
+                continue
+            op.issued = True
+            op.issue_cycle = cycle
+            op.in_issue_queue = False
+            selected.append(op)
+        self._entries = remaining
+        return selected
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,130 @@
+"""Load/Store Queues with store-to-load forwarding and ordering-violation detection.
+
+The baseline machine has 48-entry load and store queues (Table 1).  Independent memory
+instructions, as predicted by the Store Sets predictor, are allowed to issue
+out-of-order; the LSQ is responsible for
+
+* forwarding data from an older, already-executed store to a younger load to the same
+  address, and
+* detecting memory-order violations: a store that executes and finds a younger load to
+  the same address that already executed (without forwarding from it) triggers a squash.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ooo.inflight import InflightOp
+
+
+class LoadStoreQueue:
+    """Combined model of the load queue and store queue."""
+
+    def __init__(self, lq_capacity: int = 48, sq_capacity: int = 48) -> None:
+        if lq_capacity <= 0 or sq_capacity <= 0:
+            raise ConfigurationError("LQ/SQ capacities must be positive")
+        self.lq_capacity = lq_capacity
+        self.sq_capacity = sq_capacity
+        self._loads: list[InflightOp] = []
+        self._stores: list[InflightOp] = []
+        self.forwarded_loads = 0
+        self.violations = 0
+        self.peak_lq_occupancy = 0
+        self.peak_sq_occupancy = 0
+
+    # ------------------------------------------------------------------ capacity
+    @property
+    def load_occupancy(self) -> int:
+        """Number of in-flight loads."""
+        return len(self._loads)
+
+    @property
+    def store_occupancy(self) -> int:
+        """Number of in-flight stores."""
+        return len(self._stores)
+
+    def has_space(self, op: InflightOp) -> bool:
+        """True if the memory µ-op ``op`` fits in its queue."""
+        if op.uop.is_load:
+            return len(self._loads) < self.lq_capacity
+        if op.uop.is_store:
+            return len(self._stores) < self.sq_capacity
+        return True
+
+    # ------------------------------------------------------------------ mutation
+    def insert(self, op: InflightOp) -> None:
+        """Dispatch a memory µ-op into its queue."""
+        if op.uop.is_load:
+            self._loads.append(op)
+            self.peak_lq_occupancy = max(self.peak_lq_occupancy, len(self._loads))
+        elif op.uop.is_store:
+            self._stores.append(op)
+            self.peak_sq_occupancy = max(self.peak_sq_occupancy, len(self._stores))
+
+    def remove(self, op: InflightOp) -> None:
+        """Remove a memory µ-op at commit time."""
+        if op.uop.is_load:
+            try:
+                self._loads.remove(op)
+            except ValueError:
+                pass
+        elif op.uop.is_store:
+            try:
+                self._stores.remove(op)
+            except ValueError:
+                pass
+
+    def remove_squashed(self) -> None:
+        """Drop squashed entries after a pipeline flush."""
+        self._loads = [op for op in self._loads if not op.squashed]
+        self._stores = [op for op in self._stores if not op.squashed]
+
+    # ------------------------------------------------------------------ forwarding & ordering
+    def forwarding_store(self, load: InflightOp) -> InflightOp | None:
+        """Youngest older store to the same address that has already executed.
+
+        Returns ``None`` when no forwarding is possible (the load must access the
+        cache).  Addresses come from the architectural trace, so the match is exact.
+        """
+        best: InflightOp | None = None
+        for store in self._stores:
+            if store.seq >= load.seq:
+                break
+            if store.issued and store.dyn.addr == load.dyn.addr:
+                best = store
+        return best
+
+    def oldest_conflicting_unissued_store(self, load: InflightOp) -> InflightOp | None:
+        """Oldest older store whose address will conflict and has not executed yet.
+
+        Used only for statistics/diagnostics; the speculative scheduling decision is
+        taken by the Store Sets predictor, not by an oracle.
+        """
+        for store in self._stores:
+            if store.seq >= load.seq:
+                break
+            if not store.issued and store.dyn.addr == load.dyn.addr:
+                return store
+        return None
+
+    def detect_violation(self, store: InflightOp) -> InflightOp | None:
+        """Oldest younger load to the same address that executed before ``store``.
+
+        Called when a store executes (its address becomes architecturally known).  A
+        match means the load speculatively read stale data: the pipeline must squash
+        from that load and the Store Sets predictor must learn the dependence.
+        """
+        violating: InflightOp | None = None
+        for load in self._loads:
+            if load.seq <= store.seq:
+                continue
+            if not load.issued:
+                continue
+            if load.dyn.addr != store.dyn.addr:
+                continue
+            if load.load_forwarded:
+                continue
+            if violating is None or load.seq < violating.seq:
+                violating = load
+        if violating is not None:
+            self.violations += 1
+        return violating

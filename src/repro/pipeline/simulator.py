@@ -1,0 +1,650 @@
+"""The cycle-level EOLE pipeline simulator.
+
+This is the timing model tying every substrate together.  It is a trace-driven,
+correct-path, cycle-by-cycle model of the machine described in Table 1 of the paper,
+optionally augmented with value prediction (validation at commit, squash recovery) and
+with the EOLE Early/Late Execution blocks.
+
+Each simulated cycle processes, in order:
+
+1. **completions** — µ-ops finishing execution this cycle (branch resolution, memory
+   ordering checks);
+2. **commit / LE-VT** — in-order retirement of up to ``commit_width`` µ-ops, including
+   Late Execution, prediction validation, predictor training and squash on value
+   misprediction;
+3. **issue** — age-ordered select of up to ``issue_width`` ready µ-ops from the IQ,
+   bounded by the functional-unit pool;
+4. **rename/dispatch** — up to ``rename_width`` µ-ops leave the front-end, get renamed,
+   classified for Early/Late Execution, and allocated ROB/IQ/LSQ/PRF resources;
+5. **fetch** — up to ``fetch_width`` µ-ops enter the front-end, consulting the branch
+   predictor and the value predictor.
+
+See DESIGN.md §5 for the modelling assumptions (wrong-path effects, speculative
+scheduling) and their justification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.bpu.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.bpu.history import GlobalHistory
+from repro.bpu.tage import TAGEBranchPredictor
+from repro.bpu.unit import BranchPredictionUnit
+from repro.core.early_execution import EarlyExecutionBlock
+from repro.core.late_execution import LateExecutionBlock
+from repro.errors import SimulationError
+from repro.isa.emulator import ArchState, Emulator
+from repro.isa.flags import approximate_flags, flags_match_for_validation
+from repro.isa.opcode import OpClass
+from repro.isa.program import Program
+from repro.isa.trace import DynInst
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.ooo.functional_units import FunctionalUnitPool
+from repro.ooo.inflight import InflightOp, UNKNOWN_CYCLE
+from repro.ooo.issue_queue import IssueQueue
+from repro.ooo.lsq import LoadStoreQueue
+from repro.ooo.registers import BankedRegisterFile, PRFPortBudget
+from repro.ooo.rob import ReorderBuffer
+from repro.ooo.store_sets import StoreSets
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.stats import SimStats, SimulationResult
+
+
+class Simulator:
+    """Cycle-level simulator of one machine configuration running one workload."""
+
+    #: Safety factor: a run is aborted if it exceeds this many cycles per committed µ-op.
+    _DEADLOCK_CYCLES_PER_UOP = 400
+    _DEADLOCK_SLACK_CYCLES = 200_000
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        program: Program,
+        max_uops: int = 20_000,
+        warmup_uops: int = 0,
+        arch_state: ArchState | None = None,
+        workload_name: str | None = None,
+    ) -> None:
+        if warmup_uops >= max_uops:
+            raise SimulationError("warmup_uops must be smaller than max_uops")
+        self.config = config
+        self.program = program
+        self.max_uops = max_uops
+        self.warmup_uops = warmup_uops
+        self.workload_name = workload_name if workload_name is not None else program.name
+
+        # Architectural trace source.  Fetch runs ahead of commit by at most the ROB
+        # plus the front-end, so a bounded-slack emulator limit is sufficient.
+        emulator_budget = max_uops + config.rob_size + config.frontend_capacity + 64
+        self._trace: Iterator[DynInst] = Emulator(program, state=arch_state).run(emulator_budget)
+        self._trace_exhausted = False
+        self._replay: deque[DynInst] = deque()
+
+        # Substrates.
+        self.history = GlobalHistory()
+        self.bpu = BranchPredictionUnit(
+            tage=TAGEBranchPredictor(
+                bimodal_entries=config.tage_bimodal_entries,
+                tagged_entries=config.tage_tagged_entries,
+                num_components=config.tage_components,
+            ),
+            btb=BranchTargetBuffer(entries=config.btb_entries),
+            ras=ReturnAddressStack(entries=config.ras_entries),
+            history=self.history,
+        )
+        self.predictor = config.make_predictor() if config.value_prediction else None
+        self.hierarchy = MemoryHierarchy(config.memory)
+        self.rob = ReorderBuffer(config.rob_size)
+        self.iq = IssueQueue(config.iq_size)
+        self.lsq = LoadStoreQueue(config.lq_size, config.sq_size)
+        self.store_sets = StoreSets(config.store_sets_ssit, config.store_sets_lfst)
+        self.fu_pool = FunctionalUnitPool(config.functional_units)
+        self.prf = BankedRegisterFile(
+            num_banks=config.prf_banks,
+            total_registers=config.prf_registers,
+            budget=PRFPortBudget(
+                ee_write_ports_per_bank=config.ee_write_ports_per_bank,
+                levt_read_ports_per_bank=config.levt_read_ports_per_bank,
+            ),
+        )
+        self.early_block = EarlyExecutionBlock(config.eole.early)
+        self.late_block = LateExecutionBlock(config.eole.late)
+
+        # Pipeline state.
+        self.cycle = 0
+        self.stats = SimStats()
+        self._warmup_snapshot: SimStats | None = None
+        self._warmup_done = warmup_uops == 0
+        if self._warmup_done:
+            self._warmup_snapshot = SimStats()
+        self._frontend: deque[InflightOp] = deque()
+        self._completions: dict[int, list[InflightOp]] = {}
+        self._rename_map: dict[int, InflightOp] = {}
+        self._previous_dispatch_group: list[InflightOp] = []
+        self._fetch_resume_cycle = 0
+        self._fetch_blocked_on: InflightOp | None = None
+        self._finished = False
+
+    # ================================================================== public API
+    def run(self) -> SimulationResult:
+        """Run the simulation to completion and return its result."""
+        deadlock_limit = (
+            self.max_uops * self._DEADLOCK_CYCLES_PER_UOP + self._DEADLOCK_SLACK_CYCLES
+        )
+        while not self._finished:
+            self._step()
+            if self.cycle > deadlock_limit:
+                raise SimulationError(
+                    f"simulation exceeded {deadlock_limit} cycles "
+                    f"({self.stats.committed_uops} µ-ops committed): likely deadlock"
+                )
+        return self._build_result()
+
+    def _step(self) -> None:
+        """Advance the machine by one cycle."""
+        self.cycle += 1
+        self.stats.cycles += 1
+        self._process_completions()
+        if self._finished:
+            return
+        self._commit()
+        if self._finished:
+            return
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self._check_run_end()
+
+    # ================================================================== completion
+    def _process_completions(self) -> None:
+        ops = self._completions.pop(self.cycle, None)
+        if not ops:
+            return
+        for op in ops:
+            if op.squashed:
+                continue
+            op.executed = True
+            if op is self._fetch_blocked_on:
+                self._resume_fetch_after_resolution()
+            if op.uop.is_store:
+                self.store_sets.store_executed(op)
+                violator = self.lsq.detect_violation(op)
+                if violator is not None:
+                    self.stats.memory_order_violations += 1
+                    self.store_sets.train_violation(violator.pc, op.pc)
+                    self._squash_from(violator.seq)
+
+    def _resume_fetch_after_resolution(self) -> None:
+        self._fetch_blocked_on = None
+        self._fetch_resume_cycle = max(
+            self._fetch_resume_cycle, self.cycle + self.config.branch_resolution_extra
+        )
+
+    # ================================================================== commit / LE-VT
+    def _minimum_commit_cycle(self, op: InflightOp) -> int:
+        extra = 1 if self.config.has_levt_stage else 0
+        return op.complete_cycle + self.config.writeback_to_commit_latency + extra
+
+    def _commit(self) -> None:
+        committed = 0
+        late_alus_used = 0
+        while committed < self.config.commit_width:
+            op = self.rob.head()
+            if op is None:
+                break
+            if not op.executed:
+                break
+            if self.cycle < self._minimum_commit_cycle(op):
+                break
+            if op.late_executed:
+                if late_alus_used >= self.late_block.config.alus:
+                    self.stats.late_alu_stalls += 1
+                    break
+            if self.config.has_levt_stage and self.config.levt_read_ports_per_bank is not None:
+                banks = self.late_block.levt_read_banks(op)
+                if not self.prf.try_levt_reads(banks, self.cycle):
+                    self.stats.levt_port_stalls += 1
+                    break
+
+            # The µ-op retires this cycle.
+            self.rob.pop_head()
+            op.commit_cycle = self.cycle
+            committed += 1
+            if op.late_executed:
+                late_alus_used += 1
+            self._retire(op)
+            if self._finished:
+                return
+            squashed = self._validate_and_train(op)
+            if squashed:
+                break
+
+    def _retire(self, op: InflightOp) -> None:
+        """Bookkeeping common to every retiring µ-op."""
+        uop = op.uop
+        stats = self.stats
+        stats.committed_uops += 1
+        if uop.is_branch:
+            stats.committed_branches += 1
+            if uop.is_conditional_branch:
+                stats.committed_cond_branches += 1
+        if uop.is_load:
+            stats.committed_loads += 1
+            if op.load_forwarded:
+                stats.forwarded_loads += 1
+        if uop.is_store:
+            stats.committed_stores += 1
+            if op.dyn.addr is not None:
+                self.hierarchy.store(op.dyn.addr, op.pc, self.cycle)
+        if uop.vp_eligible:
+            stats.committed_vp_eligible += 1
+        if op.early_executed:
+            stats.early_executed += 1
+        elif op.late_executed:
+            if uop.is_conditional_branch:
+                stats.late_resolved_branches += 1
+            else:
+                stats.late_executed_alu += 1
+        if op.pred_used:
+            stats.predictions_used += 1
+
+        # Free the rename mapping and the physical register.
+        for dst in uop.destination_registers():
+            if self._rename_map.get(dst) is op:
+                del self._rename_map[dst]
+        if uop.dst is not None:
+            self.prf.release(op.dest_bank)
+        if uop.is_memory:
+            self.lsq.remove(op)
+
+        # Branch predictor training and late branch resolution.
+        if uop.is_conditional_branch and op.branch_outcome is not None:
+            self.bpu.train(op.dyn, op.branch_outcome)
+            if op.branch_outcome.mispredicted:
+                stats.branch_mispredictions += 1
+                if op.branch_outcome.high_confidence:
+                    stats.high_confidence_branch_mispredictions += 1
+            if op is self._fetch_blocked_on:
+                # A late-resolved (LE/VT) mispredicted branch unblocks fetch at commit.
+                self._resume_fetch_after_resolution()
+        elif (
+            uop.is_branch
+            and op.branch_outcome is not None
+            and op.branch_outcome.mispredicted
+        ):
+            stats.branch_mispredictions += 1
+
+        if not self._warmup_done and stats.committed_uops >= self.warmup_uops:
+            self._warmup_snapshot = stats.copy()
+            self._warmup_done = True
+        if stats.committed_uops >= self.max_uops:
+            self._finished = True
+
+    def _validate_and_train(self, op: InflightOp) -> bool:
+        """Prediction validation + predictor training; returns True if a squash occurred."""
+        if self.predictor is None or not op.uop.vp_eligible or op.dyn.result is None:
+            return False
+        actual = op.dyn.result
+        value_correct = self.predictor.validate_and_train(op.pc, actual, op.prediction)
+        if not op.pred_used:
+            return False
+        flags_ok = True
+        if op.uop.sets_flags and op.dyn.flags_result is not None and op.prediction is not None:
+            flags_ok = flags_match_for_validation(
+                op.dyn.flags_result, approximate_flags(op.prediction.value)
+            )
+            if value_correct and not flags_ok:
+                self.stats.flag_only_mispredictions += 1
+        if value_correct and flags_ok:
+            return False
+        # Value misprediction: the offending µ-op retires with the architectural value,
+        # everything younger is squashed and re-fetched (Section 3.1: pipeline squash).
+        self.stats.value_mispredictions += 1
+        self._squash_from(op.seq + 1)
+        return True
+
+    # ================================================================== issue / execute
+    def _operand_ready(self, op: InflightOp, cycle: int) -> bool:
+        for producer in op.producers:
+            if producer is None:
+                continue
+            available = producer.result_available_cycle()
+            if available == UNKNOWN_CYCLE or available > cycle:
+                return False
+        return True
+
+    def _is_ready(self, op: InflightOp, cycle: int) -> bool:
+        if cycle < op.dispatch_cycle + self.config.dispatch_to_issue_latency:
+            return False
+        if not self._operand_ready(op, cycle):
+            return False
+        if op.uop.is_load:
+            dependence = op.mem_dependence
+            if dependence is not None and not dependence.squashed and not dependence.issued:
+                return False
+        return True
+
+    def _execution_latency(self, op: InflightOp) -> int:
+        return op.uop.latency
+
+    def _issue(self) -> None:
+        selected = self.iq.select(
+            self.cycle,
+            self.config.issue_width,
+            self.fu_pool,
+            self._is_ready,
+            self._execution_latency,
+        )
+        for op in selected:
+            self._start_execution(op)
+
+    def _start_execution(self, op: InflightOp) -> None:
+        uop = op.uop
+        cycle = self.cycle
+        if uop.is_load:
+            forwarding_store = self.lsq.forwarding_store(op)
+            if forwarding_store is not None:
+                op.load_forwarded = True
+                memory_latency = 2
+            else:
+                memory_latency = self.hierarchy.load(op.dyn.addr, op.pc, cycle)
+            op.complete_cycle = cycle + 1 + memory_latency
+        elif uop.is_store:
+            op.complete_cycle = cycle + 1
+        else:
+            op.complete_cycle = cycle + uop.latency
+        self._completions.setdefault(op.complete_cycle, []).append(op)
+
+    # ================================================================== rename / dispatch
+    def _dispatch(self) -> None:
+        config = self.config
+        group: list[InflightOp] = []
+        # Phase A/B: pull dispatch-ready µ-ops, rename them against a local overlay.
+        local_map: dict[int, InflightOp] = {}
+        while (
+            len(group) < config.rename_width
+            and self._frontend
+            and self._frontend[0].dispatch_ready_cycle <= self.cycle
+        ):
+            op = self._frontend[0]
+            reason = self._structural_space_for_op(op)
+            if reason is not None:
+                self._count_dispatch_stall(reason)
+                break
+            self._frontend.popleft()
+            producers = tuple(
+                local_map.get(reg, self._rename_map.get(reg))
+                for reg in op.uop.source_registers()
+            )
+            op.producers = producers
+            for dst in op.uop.destination_registers():
+                local_map[dst] = op
+                self._rename_map[dst] = op
+            group.append(op)
+            # Structural allocation happens immediately so the next iteration's space
+            # checks see it (ROB/LSQ/PRF are per-µ-op resources, not per-group).
+            self.rob.push(op)
+            if op.uop.is_memory:
+                self.lsq.insert(op)
+            if op.uop.dst is not None:
+                op.dest_bank = self.prf.next_bank()
+                self.prf.allocate()
+            else:
+                self.prf.advance_without_allocation()
+            op.dispatch_cycle = self.cycle
+
+        if not group:
+            self._previous_dispatch_group = []
+            return
+
+        # Phase C: Early Execution planning (in parallel with rename).
+        if config.eole.early.enabled:
+            self.early_block.plan(group, self._previous_dispatch_group)
+
+        # Phase D/E: Late-Execution classification, IQ insertion and port accounting.
+        for op in group:
+            uop = op.uop
+            if config.eole.late.enabled:
+                self.late_block.classify(op)
+            writes_prediction_or_ee = (op.pred_used or op.early_executed) and uop.dst is not None
+            if writes_prediction_or_ee:
+                if not self.prf.try_ee_write(op.dest_bank, self.cycle):
+                    # Port pressure delays the write by a cycle; modelled as a slight
+                    # dispatch-side stall statistic rather than a structural replay.
+                    self.stats.ee_write_port_stalls += 1
+            if op.early_executed or op.late_executed or uop.opclass is OpClass.NOP:
+                # Bypasses the OoO engine entirely (or needs no execution at all).
+                op.complete_cycle = op.dispatch_cycle
+                op.executed = True
+            else:
+                if not self.iq.has_space():
+                    self.stats.iq_full_stalls += 1
+                    self._rollback_undispatched(group, group.index(op))
+                    group = group[: group.index(op)]
+                    break
+                self.iq.insert(op)
+                self.stats.dispatched_to_iq += 1
+            if uop.is_load:
+                op.mem_dependence = self.store_sets.dependence_for_load(op)
+            elif uop.is_store:
+                self.store_sets.register_store(op)
+
+        self._previous_dispatch_group = group
+
+    def _structural_space_for_op(self, op: InflightOp) -> str | None:
+        if not self.rob.has_space():
+            return "rob"
+        if op.uop.is_memory and not self.lsq.has_space(op):
+            return "lsq"
+        if op.uop.dst is not None and self.config.prf_banks > 1 and not self.prf.can_allocate():
+            return "prf"
+        return None
+
+    def _count_dispatch_stall(self, reason: str) -> None:
+        if reason == "rob":
+            self.stats.rob_full_stalls += 1
+        elif reason == "lsq":
+            self.stats.lsq_full_stalls += 1
+        elif reason == "prf":
+            self.stats.prf_bank_stalls += 1
+            self.prf.record_bank_full_stall()
+
+    def _rollback_undispatched(self, group: list[InflightOp], first_undispatched: int) -> None:
+        """Return µ-ops that could not get an IQ slot to the front-end, youngest first."""
+        for op in reversed(group[first_undispatched:]):
+            # Undo the structural allocations performed in phase A/B.
+            squashed = self.rob.squash_from(op.seq)
+            for undone in squashed:
+                undone.squashed = False
+            if op.uop.is_memory:
+                self.lsq.remove(op)
+            if op.uop.dst is not None:
+                self.prf.release(op.dest_bank)
+            op.producers = ()
+            op.early_executed = False
+            op.late_executed = False
+            op.executed = False
+            op.dispatch_cycle = UNKNOWN_CYCLE
+            op.complete_cycle = UNKNOWN_CYCLE
+            self._frontend.appendleft(op)
+        # Rebuild the rename map from the surviving ROB contents.
+        self._rebuild_rename_map()
+
+    def _rebuild_rename_map(self) -> None:
+        self._rename_map = {}
+        for op in self.rob:
+            for dst in op.uop.destination_registers():
+                self._rename_map[dst] = op
+
+    # ================================================================== fetch
+    def _next_dyninst(self) -> DynInst | None:
+        if self._replay:
+            return self._replay.popleft()
+        if self._trace_exhausted:
+            return None
+        try:
+            return next(self._trace)
+        except StopIteration:
+            self._trace_exhausted = True
+            return None
+
+    def _push_back_dyninst(self, dyn: DynInst) -> None:
+        self._replay.appendleft(dyn)
+
+    def _fetch(self) -> None:
+        config = self.config
+        if self._fetch_blocked_on is not None:
+            return
+        if self.cycle < self._fetch_resume_cycle:
+            return
+        if len(self._frontend) >= config.frontend_capacity:
+            return
+        fetched = 0
+        taken_branches = 0
+        while fetched < config.fetch_width:
+            dyn = self._next_dyninst()
+            if dyn is None:
+                break
+            if dyn.uop.is_branch and dyn.taken and taken_branches >= config.max_taken_branches_per_cycle:
+                self._push_back_dyninst(dyn)
+                break
+            icache_latency = self.hierarchy.fetch(dyn.pc, self.cycle)
+            if icache_latency > config.memory.l1i_latency:
+                # Instruction cache miss: fetch stalls until the line returns.
+                self._push_back_dyninst(dyn)
+                self._fetch_resume_cycle = self.cycle + icache_latency
+                break
+
+            op = InflightOp(dyn)
+            op.fetch_cycle = self.cycle
+            op.dispatch_ready_cycle = self.cycle + config.fetch_to_dispatch_latency
+            op.history_snapshot = self.history.snapshot()
+            self.stats.fetched_uops += 1
+
+            if self.predictor is not None and dyn.uop.vp_eligible:
+                prediction = self.predictor.lookup(dyn.pc, self.history)
+                op.prediction = prediction
+                op.pred_used = prediction is not None and prediction.confident
+
+            stop_fetching = False
+            if dyn.uop.is_branch:
+                if dyn.taken:
+                    taken_branches += 1
+                outcome = self.bpu.predict(dyn)
+                op.branch_outcome = outcome
+                if outcome.mispredicted:
+                    self._fetch_blocked_on = op
+                    stop_fetching = True
+                elif outcome.resolved_at_decode:
+                    self.stats.decode_redirects += 1
+                    self._fetch_resume_cycle = self.cycle + config.decode_redirect_penalty
+                    stop_fetching = True
+
+            self._frontend.append(op)
+            fetched += 1
+            if stop_fetching:
+                break
+
+    # ================================================================== squash
+    def _squash_from(self, seq: int) -> None:
+        """Squash every µ-op with sequence number >= ``seq`` and set up re-fetch."""
+        self.stats.pipeline_squashes += 1
+        squashed_rob = self.rob.squash_from(seq)
+        squashed_frontend: list[InflightOp] = []
+        while self._frontend and self._frontend[-1].seq >= seq:
+            op = self._frontend.pop()
+            op.squashed = True
+            squashed_frontend.append(op)
+        squashed_frontend.reverse()
+        squashed = squashed_rob + squashed_frontend
+        if not squashed:
+            return
+        self.stats.squashed_uops += len(squashed)
+
+        # Undo structural allocations of the squashed µ-ops.
+        for op in squashed_rob:
+            if op.uop.dst is not None and op.dispatch_cycle != UNKNOWN_CYCLE:
+                self.prf.release(op.dest_bank)
+        self.iq.remove_squashed()
+        self.lsq.remove_squashed()
+        self.store_sets.flush_lfst()
+        self._rebuild_rename_map()
+        self._previous_dispatch_group = []
+
+        # Re-feed the squashed µ-ops to fetch, oldest first.
+        for op in reversed(squashed):
+            self._replay.appendleft(op.dyn)
+
+        # Recover speculative predictor and history state.
+        if self.predictor is not None:
+            self.predictor.recover()
+        self.history.restore(squashed[0].history_snapshot)
+
+        # Fetch restarts after the squash (full front-end refill is paid naturally).
+        if self._fetch_blocked_on is not None and self._fetch_blocked_on.squashed:
+            self._fetch_blocked_on = None
+        self._fetch_resume_cycle = max(self._fetch_resume_cycle, self.cycle + 1)
+
+    # ================================================================== run end / results
+    def _check_run_end(self) -> None:
+        if self._finished:
+            return
+        if (
+            self._trace_exhausted
+            and not self._replay
+            and not self._frontend
+            and self.rob.is_empty
+        ):
+            self._finished = True
+
+    def _build_result(self) -> SimulationResult:
+        full = self.stats.copy()
+        baseline = self._warmup_snapshot if self._warmup_snapshot is not None else SimStats()
+        window = full.delta(baseline)
+        coverage = accuracy = 0.0
+        if self.predictor is not None:
+            coverage = self.predictor.stats.coverage
+            accuracy = self.predictor.stats.accuracy
+        return SimulationResult(
+            config_name=self.config.name,
+            workload_name=self.workload_name,
+            stats=window,
+            full_stats=full,
+            warmup_uops=self.warmup_uops,
+            predictor_coverage=coverage,
+            predictor_accuracy=accuracy,
+            tage_misprediction_rate=self.bpu.tage.misprediction_rate,
+            tage_high_confidence_misprediction_rate=(
+                self.bpu.tage.high_confidence_misprediction_rate
+            ),
+            l1d_miss_rate=self.hierarchy.l1d.stats.miss_rate,
+            l2_miss_rate=self.hierarchy.l2.stats.miss_rate,
+            extra={
+                "iq_peak_occupancy": self.iq.peak_occupancy,
+                "rob_peak_occupancy": self.rob.peak_occupancy,
+                "btb_hit_rate": self.bpu.btb.hit_rate,
+            },
+        )
+
+
+def simulate(
+    config: PipelineConfig,
+    program: Program,
+    max_uops: int = 20_000,
+    warmup_uops: int = 0,
+    arch_state: ArchState | None = None,
+    workload_name: str | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    simulator = Simulator(
+        config,
+        program,
+        max_uops=max_uops,
+        warmup_uops=warmup_uops,
+        arch_state=arch_state,
+        workload_name=workload_name,
+    )
+    return simulator.run()

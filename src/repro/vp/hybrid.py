@@ -1,0 +1,121 @@
+"""The VTAGE-2DStride hybrid value predictor evaluated throughout the EOLE paper.
+
+The hybrid combines a computational component (2-Delta Stride) with a context-based
+component (VTAGE), following Table 2 and Section 4.2:
+
+* VTAGE provides the prediction whenever one of its *tagged* components hits (the tag
+  match means the global-branch-history context is recognised);
+* otherwise the 2-Delta Stride component provides the prediction;
+* the confidence of the providing component alone decides whether the prediction is
+  used (each component carries its own Forward Probabilistic Counters);
+* both components are trained at commit with the architectural value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.history import GlobalHistory
+from repro.vp.base import ValuePredictor, VPrediction
+from repro.vp.confidence import PAPER_FPC_VECTOR
+from repro.vp.stride import TwoDeltaStridePredictor
+from repro.vp.vtage import VTAGEPredictor
+
+
+@dataclass
+class _HybridMeta:
+    """Per-prediction context: the component predictions, for separate training."""
+
+    vtage: VPrediction | None
+    stride: VPrediction | None
+    chosen: str
+
+
+class VTAGE2DStrideHybrid(ValuePredictor):
+    """The paper's hybrid predictor (Table 2): VTAGE + 2D-Stride, FPC confidence."""
+
+    name = "vtage-2dstride"
+
+    def __init__(
+        self,
+        vtage: VTAGEPredictor | None = None,
+        stride: TwoDeltaStridePredictor | None = None,
+        fpc_vector=PAPER_FPC_VECTOR,
+        seed: int = 0xE01E,
+    ) -> None:
+        super().__init__()
+        self.vtage = vtage if vtage is not None else VTAGEPredictor(
+            fpc_vector=fpc_vector, seed=seed ^ 0x1
+        )
+        self.stride = stride if stride is not None else TwoDeltaStridePredictor(
+            fpc_vector=fpc_vector, seed=seed ^ 0x2
+        )
+
+    # ------------------------------------------------------------------ interface
+    def predict(self, pc: int, history: GlobalHistory) -> VPrediction | None:
+        vtage_pred = self.vtage.predict(pc, history)
+        stride_pred = self.stride.predict(pc, history)
+
+        vtage_tagged_hit = (
+            vtage_pred is not None
+            and vtage_pred.meta is not None
+            and vtage_pred.meta.provider >= 0
+        )
+        vtage_confident = vtage_pred is not None and vtage_pred.confident
+        stride_confident = stride_pred is not None and stride_pred.confident
+        # Arbitration: a confident context-based (VTAGE) prediction wins, then a
+        # confident computational (2D-Stride) one; with no confident component the
+        # VTAGE tagged hit is preferred for training purposes, then the stride entry.
+        if vtage_tagged_hit and vtage_confident:
+            chosen, provider = "vtage", vtage_pred
+        elif stride_confident:
+            chosen, provider = "stride", stride_pred
+        elif vtage_confident:
+            chosen, provider = "vtage", vtage_pred
+        elif vtage_tagged_hit:
+            chosen, provider = "vtage", vtage_pred
+        elif stride_pred is not None:
+            chosen, provider = "stride", stride_pred
+        elif vtage_pred is not None:
+            chosen, provider = "vtage", vtage_pred
+        else:
+            return VPrediction(0, False, self.name, meta=_HybridMeta(None, None, "none"))
+
+        meta = _HybridMeta(vtage_pred, stride_pred, chosen)
+        return VPrediction(provider.value, provider.confident, self.name, meta=meta)
+
+    def train(self, pc: int, actual: int, prediction: VPrediction | None) -> None:
+        if prediction is None or prediction.meta is None:
+            self.vtage.train(pc, actual, None)
+            self.stride.train(pc, actual, None)
+            return
+        meta: _HybridMeta = prediction.meta
+        self.vtage.train(pc, actual, meta.vtage)
+        self.stride.train(pc, actual, meta.stride)
+
+    def recover(self) -> None:
+        self.vtage.recover()
+        self.stride.recover()
+
+    def storage_bits(self) -> int:
+        return self.vtage.storage_bits() + self.stride.storage_bits()
+
+
+def default_paper_predictor(
+    seed: int = 0xE01E, fpc_vector=PAPER_FPC_VECTOR
+) -> VTAGE2DStrideHybrid:
+    """The hybrid predictor with the paper's Table 2 sizing."""
+    return VTAGE2DStrideHybrid(
+        vtage=VTAGEPredictor(
+            base_entries=8192,
+            tagged_entries=1024,
+            num_components=6,
+            tag_bits=12,
+            fpc_vector=fpc_vector,
+            seed=seed ^ 0x1,
+        ),
+        stride=TwoDeltaStridePredictor(
+            entries=8192, tag_bits=51, fpc_vector=fpc_vector, seed=seed ^ 0x2
+        ),
+        seed=seed,
+    )

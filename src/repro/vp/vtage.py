@@ -1,0 +1,241 @@
+"""VTAGE — the Value TAgged GEometric history length predictor (Perais & Seznec, 2014).
+
+VTAGE is the context-based half of the paper's hybrid (Table 2).  Like the ITTAGE
+indirect-branch predictor it borrows its structure from, it consists of:
+
+* a tagless **base component** — a last-value table indexed by PC; and
+* ``num_components`` **tagged components**, each indexed by a hash of the PC and a
+  geometrically increasing slice of the *global conditional branch history*, and tagged
+  with ``tag_bits + rank`` bits.
+
+The longest-history matching component provides the prediction; Forward Probabilistic
+Counters gate its use.  A key property emphasised by the paper is that VTAGE does not
+need the previous value of the instruction to predict, so it has no speculative
+in-flight state to repair on squashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpu.history import GlobalHistory
+from repro.errors import ConfigurationError
+from repro.vp.base import ValuePredictor, VPrediction
+from repro.vp.confidence import DeterministicRandom, FPCPolicy, PAPER_FPC_VECTOR
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int) -> int:
+    value &= _MASK64
+    value ^= value >> 30
+    value = (value * 0xBF58476D1CE4E5B9) & _MASK64
+    value ^= value >> 27
+    value = (value * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def geometric_history_lengths(minimum: int, maximum: int, count: int) -> list[int]:
+    """Geometric series of history lengths, shortest first (Seznec & Michaud, 2006)."""
+    if count <= 0:
+        raise ConfigurationError("need at least one tagged component")
+    if count == 1:
+        return [maximum]
+    if minimum <= 0 or maximum < minimum:
+        raise ConfigurationError("invalid geometric history bounds")
+    ratio = (maximum / minimum) ** (1.0 / (count - 1))
+    lengths = []
+    for rank in range(count):
+        length = int(round(minimum * (ratio**rank)))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    return lengths
+
+
+@dataclass
+class _VTAGEMeta:
+    """Fetch-time lookup context carried to commit-time training."""
+
+    indices: tuple[int, ...]
+    tags: tuple[int, ...]
+    provider: int  # -1 = base component, otherwise tagged component rank (0-based)
+    base_index: int
+
+
+class _TaggedEntry:
+    __slots__ = ("tag", "value", "confidence", "useful", "valid")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.value = 0
+        self.confidence = 0
+        self.useful = 0
+        self.valid = False
+
+
+class VTAGEPredictor(ValuePredictor):
+    """VTAGE as configured in Table 2 of the EOLE paper (scaled by constructor args)."""
+
+    name = "vtage"
+
+    def __init__(
+        self,
+        base_entries: int = 8192,
+        tagged_entries: int = 1024,
+        num_components: int = 6,
+        tag_bits: int = 12,
+        min_history: int = 2,
+        max_history: int = 64,
+        value_bits: int = 64,
+        fpc_vector=PAPER_FPC_VECTOR,
+        seed: int = 0x7A6E,
+    ) -> None:
+        super().__init__()
+        for entries in (base_entries, tagged_entries):
+            if entries <= 0 or entries & (entries - 1):
+                raise ConfigurationError("VTAGE table sizes must be powers of two")
+        self.base_entries = base_entries
+        self.tagged_entries = tagged_entries
+        self.num_components = num_components
+        self.tag_bits = tag_bits
+        self.value_bits = value_bits
+        self.history_lengths = geometric_history_lengths(min_history, max_history, num_components)
+        self._base_mask = base_entries - 1
+        self._tagged_mask = tagged_entries - 1
+        self._policy = FPCPolicy(fpc_vector, seed=seed)
+        self._random = DeterministicRandom(seed ^ 0xBADC0DE)
+        # Base component (tagless last-value table).
+        self._base_values = [0] * base_entries
+        self._base_confidence = [0] * base_entries
+        self._base_valid = [False] * base_entries
+        # Tagged components.
+        self._components: list[list[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(tagged_entries)] for _ in range(num_components)
+        ]
+
+    # ------------------------------------------------------------------ indexing
+    def _base_index(self, pc: int) -> int:
+        return _mix(pc) & self._base_mask
+
+    def _tagged_index(self, pc: int, history: GlobalHistory, rank: int) -> int:
+        length = self.history_lengths[rank]
+        folded = history.fold(length, self._tagged_mask.bit_length())
+        return (_mix(pc * 2 + rank) ^ folded) & self._tagged_mask
+
+    def _tagged_tag(self, pc: int, history: GlobalHistory, rank: int) -> int:
+        length = self.history_lengths[rank]
+        width = self.tag_bits + rank
+        folded = history.fold(length, width)
+        return (_mix(pc * 7 + rank * 3 + 1) ^ folded) & ((1 << width) - 1)
+
+    # ------------------------------------------------------------------ interface
+    def predict(self, pc: int, history: GlobalHistory) -> VPrediction | None:
+        indices = []
+        tags = []
+        provider = -1
+        provider_entry: _TaggedEntry | None = None
+        for rank in range(self.num_components):
+            index = self._tagged_index(pc, history, rank)
+            tag = self._tagged_tag(pc, history, rank)
+            indices.append(index)
+            tags.append(tag)
+            entry = self._components[rank][index]
+            if entry.valid and entry.tag == tag:
+                provider = rank
+                provider_entry = entry
+        base_index = self._base_index(pc)
+        meta = _VTAGEMeta(tuple(indices), tuple(tags), provider, base_index)
+        if provider_entry is not None:
+            confident = provider_entry.confidence >= self._policy.saturation
+            return VPrediction(provider_entry.value, confident, self.name, meta=meta)
+        if self._base_valid[base_index]:
+            confident = self._base_confidence[base_index] >= self._policy.saturation
+            return VPrediction(self._base_values[base_index], confident, self.name, meta=meta)
+        return VPrediction(0, False, self.name, meta=meta)
+
+    # ------------------------------------------------------------------ training helpers
+    def _bump_confidence(self, current: int) -> int:
+        if current < self._policy.saturation and self._policy.allows_increment(current):
+            return current + 1
+        return current
+
+    def _train_base(self, base_index: int, actual: int) -> None:
+        if self._base_valid[base_index] and self._base_values[base_index] == actual:
+            self._base_confidence[base_index] = self._bump_confidence(
+                self._base_confidence[base_index]
+            )
+        elif self._base_valid[base_index]:
+            if self._base_confidence[base_index] == 0:
+                self._base_values[base_index] = actual
+            else:
+                self._base_confidence[base_index] = 0
+        else:
+            self._base_valid[base_index] = True
+            self._base_values[base_index] = actual
+            self._base_confidence[base_index] = 0
+
+    def _allocate(self, meta: _VTAGEMeta, actual: int) -> None:
+        """Allocate a new tagged entry on a component with a longer history."""
+        start = meta.provider + 1
+        candidates = []
+        for rank in range(start, self.num_components):
+            entry = self._components[rank][meta.indices[rank]]
+            if not entry.valid or entry.useful == 0:
+                candidates.append(rank)
+        if not candidates:
+            # Age the useful bits of all longer-history victims, TAGE-style.
+            for rank in range(start, self.num_components):
+                entry = self._components[rank][meta.indices[rank]]
+                if entry.useful > 0:
+                    entry.useful -= 1
+            return
+        # Prefer the shortest eligible history, with a random tie-break to avoid ping-pong.
+        choice = candidates[0]
+        if len(candidates) > 1 and self._random.chance_half():
+            choice = candidates[1]
+        entry = self._components[choice][meta.indices[choice]]
+        entry.valid = True
+        entry.tag = meta.tags[choice]
+        entry.value = actual
+        entry.confidence = 0
+        entry.useful = 0
+
+    def train(self, pc: int, actual: int, prediction: VPrediction | None) -> None:
+        actual &= _MASK64
+        if prediction is None or prediction.meta is None:
+            # Should not happen in the pipeline (every eligible µ-op is looked up), but
+            # keep the base component learning for robustness.
+            self._train_base(self._base_index(pc), actual)
+            return
+        meta: _VTAGEMeta = prediction.meta
+        if meta.provider >= 0:
+            entry = self._components[meta.provider][meta.indices[meta.provider]]
+            if entry.valid and entry.tag == meta.tags[meta.provider]:
+                if entry.value == actual:
+                    entry.confidence = self._bump_confidence(entry.confidence)
+                    if entry.confidence >= self._policy.saturation:
+                        entry.useful = 1
+                else:
+                    if entry.confidence == 0:
+                        entry.value = actual
+                        entry.useful = 0
+                    else:
+                        entry.confidence = 0
+                    self._allocate(meta, actual)
+            else:
+                # The entry was replaced between fetch and commit; treat as a miss.
+                self._allocate(meta, actual)
+        else:
+            predicted_value = prediction.value
+            if not (self._base_valid[meta.base_index] and predicted_value == actual):
+                self._allocate(meta, actual)
+        self._train_base(meta.base_index, actual)
+
+    def storage_bits(self) -> int:
+        base = self.base_entries * (self.value_bits + 3)
+        tagged = 0
+        for rank in range(self.num_components):
+            per_entry = self.value_bits + 3 + 1 + (self.tag_bits + rank)
+            tagged += self.tagged_entries * per_entry
+        return base + tagged

@@ -1,0 +1,117 @@
+"""Workload specifications: the knobs that shape a synthetic benchmark.
+
+The paper evaluates 19 SPEC CPU2000/2006 programs (Table 3).  Those binaries (and the
+gem5 checkpoints to run them) are not available here, so each program is replaced by a
+synthetic analogue: a loop kernel whose *behavioural knobs* — value predictability,
+instruction mix, branch behaviour, memory footprint, dependency structure — are chosen
+to mimic what the paper reports for that program (IPC band, value-prediction benefit,
+Early/Late-Execution coverage).  The knobs are collected in :class:`WorkloadSpec`;
+:mod:`repro.workloads.kernels` turns a spec into an executable program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Per-iteration composition and memory behaviour of a synthetic kernel.
+
+    All ``*_ops`` / ``*_loads`` / ``stores`` counts are per inner-loop iteration.
+    Footprints are in 8-byte words and must be powers of two (they are used as masks).
+    """
+
+    name: str
+    description: str = ""
+
+    # The loop-carried critical chain.  Its length in cycles bounds the baseline IPC;
+    # its predictable portion is what value prediction (and hence EOLE) collapses.
+    chain_alu_ops: int = 4          # predictable single-cycle ops (accumulate constants)
+    chain_unpred_ops: int = 0       # hash-walk steps: a second, unpredictable serial chain
+    chain_fp_ops: int = 0           # predictable FP ops (3-cycle latency each)
+    chain_loads: int = 0            # loads inside the chain (strided addresses)
+    chain_values_predictable: bool = True   # whether the chain-load values are predictable
+    chain_footprint_words: int = 1 << 10
+    unpred_chain_footprint_words: int = 1 << 9  # footprint of the hash-walk chain (L1-resident)
+
+    # Integer ALU behaviour.
+    pred_chains: int = 2           # independent accumulator chains (stride-predictable)
+    pred_chain_ops: int = 3        # dependent ops per chain
+    invariant_alu_ops: int = 2     # ops whose result is identical every iteration
+    immediate_alu_ops: int = 2     # movi + dependent ops (Early-Execution friendly)
+    unpred_alu_ops: int = 2        # ops consuming load results (hard to predict)
+
+    # Memory behaviour.
+    strided_loads: int = 2
+    strided_values_predictable: bool = True
+    strided_footprint_words: int = 1 << 10
+    random_loads: int = 0
+    random_footprint_words: int = 1 << 16
+    pointer_chase_loads: int = 0
+    chase_footprint_words: int = 1 << 12
+    stores: int = 1
+
+    # Floating point / long latency.
+    fp_chains: int = 0
+    fp_chain_ops: int = 0
+    fp_mul_ops: int = 0
+    int_mul_ops: int = 0
+    int_div_ops: int = 0
+
+    # Control flow.
+    data_dep_branches: int = 0     # branches on (mostly unpredictable) data
+    pred_branches: int = 0         # extra well-behaved branches
+    inner_loop_trip: int = 0       # 0 disables the inner loop
+    calls: int = 0
+    indirect_jump_targets: int = 0  # 0 disables the indirect-jump switch block
+
+    # Mapping back to the paper.
+    paper_benchmark: str = ""
+    paper_ipc: float | None = None
+    category: str = "INT"
+
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "chain_alu_ops",
+            "chain_unpred_ops",
+            "chain_fp_ops",
+            "chain_loads",
+            "pred_chains",
+            "pred_chain_ops",
+            "invariant_alu_ops",
+            "immediate_alu_ops",
+            "unpred_alu_ops",
+            "strided_loads",
+            "random_loads",
+            "pointer_chase_loads",
+            "stores",
+            "fp_chains",
+            "fp_chain_ops",
+            "fp_mul_ops",
+            "int_mul_ops",
+            "int_div_ops",
+            "data_dep_branches",
+            "pred_branches",
+            "inner_loop_trip",
+            "calls",
+            "indirect_jump_targets",
+        ):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{self.name}: {attr} must be non-negative")
+        for attr in (
+            "strided_footprint_words",
+            "random_footprint_words",
+            "chase_footprint_words",
+            "chain_footprint_words",
+            "unpred_chain_footprint_words",
+        ):
+            value = getattr(self, attr)
+            if value <= 0 or value & (value - 1):
+                raise ConfigurationError(f"{self.name}: {attr} must be a positive power of two")
+        if self.category not in ("INT", "FP"):
+            raise ConfigurationError(f"{self.name}: category must be INT or FP")

@@ -1,0 +1,63 @@
+"""Tests for experiment result containers and table formatting."""
+
+import pytest
+
+from repro.analysis.report import ExperimentResult, ExperimentSeries, format_table
+
+
+def _result() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig_test",
+        title="A test figure",
+        baseline_label="Baseline",
+        value_kind="speedup",
+        notes="shape only",
+    )
+    result.series.append(ExperimentSeries("ConfigA", {"wl1": 1.0, "wl2": 2.0}))
+    result.series.append(ExperimentSeries("ConfigB", {"wl1": 1.5, "wl2": 0.5}))
+    return result
+
+
+class TestSeries:
+    def test_geomean_summary(self):
+        series = ExperimentSeries("x", {"a": 1.0, "b": 4.0})
+        assert series.summary("geomean") == pytest.approx(2.0)
+
+    def test_mean_summary(self):
+        series = ExperimentSeries("x", {"a": 0.1, "b": 0.3})
+        assert series.summary("mean") == pytest.approx(0.2)
+
+
+class TestExperimentResult:
+    def test_workloads_preserve_first_seen_order(self):
+        result = _result()
+        assert result.workloads == ["wl1", "wl2"]
+
+    def test_series_lookup(self):
+        result = _result()
+        assert result.series_by_label("ConfigB").values["wl1"] == 1.5
+        with pytest.raises(KeyError):
+            result.series_by_label("missing")
+
+    def test_summary_kind_depends_on_value_kind(self):
+        assert _result().summary_kind() == "geomean"
+        ratio_result = ExperimentResult("x", "t", value_kind="ratio")
+        assert ratio_result.summary_kind() == "mean"
+
+
+class TestFormatting:
+    def test_table_contains_all_labels_values_and_summary(self):
+        text = format_table(_result())
+        assert "fig_test" in text
+        assert "ConfigA" in text and "ConfigB" in text
+        assert "wl1" in text and "wl2" in text
+        assert "1.500" in text
+        assert "geomean" in text
+        assert "shape only" in text
+
+    def test_missing_cells_rendered_as_dash(self):
+        result = _result()
+        result.series.append(ExperimentSeries("Partial", {"wl1": 3.0}))
+        lines = format_table(result).splitlines()
+        wl2_line = next(line for line in lines if line.startswith("wl2"))
+        assert "-" in wl2_line

@@ -1,0 +1,79 @@
+"""Tests for the global branch-history register and history folding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bpu.history import GlobalHistory, fold_bits
+
+
+class TestGlobalHistory:
+    def test_push_shifts_in_youngest_bit(self):
+        history = GlobalHistory(capacity=8)
+        history.push(True)
+        history.push(False)
+        history.push(True)
+        assert history.bits == 0b101
+
+    def test_capacity_bounds_history(self):
+        history = GlobalHistory(capacity=4)
+        for _ in range(10):
+            history.push(True)
+        assert history.bits == 0b1111
+
+    def test_snapshot_restore_round_trip(self):
+        history = GlobalHistory()
+        for outcome in (True, False, True, True):
+            history.push(outcome)
+        saved = history.snapshot()
+        history.push(False)
+        history.push(False)
+        history.restore(saved)
+        assert history.bits == saved
+
+    def test_clear(self):
+        history = GlobalHistory()
+        history.push(True)
+        history.clear()
+        assert history.bits == 0
+
+    def test_slice_returns_youngest_bits(self):
+        history = GlobalHistory()
+        for outcome in (True, True, False, True):  # bits = 0b1101 (youngest last push)
+            history.push(outcome)
+        assert history.slice(2) == 0b01
+        assert history.slice(4) == 0b1101
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(capacity=0)
+
+
+class TestFolding:
+    def test_fold_of_short_history_is_identity(self):
+        assert fold_bits(0b101, 3, 8) == 0b101
+
+    def test_fold_xors_chunks(self):
+        # 10 bits folded into 4: chunks 0b1111, 0b0000, 0b11 -> 0b1100... compute directly
+        value = 0b11_0000_1111
+        expected = (value & 0xF) ^ ((value >> 4) & 0xF) ^ ((value >> 8) & 0xF)
+        assert fold_bits(value, 10, 4) == expected
+
+    def test_zero_width_or_length(self):
+        assert fold_bits(0b111, 0, 4) == 0
+        assert fold_bits(0b111, 3, 0) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_fold_stays_within_width(self, value, length, width):
+        assert 0 <= fold_bits(value, length, width) < (1 << width)
+
+    @given(st.integers(min_value=1, max_value=16))
+    def test_fold_is_deterministic(self, width):
+        history = GlobalHistory()
+        for index in range(40):
+            history.push(index % 3 == 0)
+        assert history.fold(32, width) == history.fold(32, width)

@@ -1,0 +1,136 @@
+"""Tests for the combined branch prediction unit (TAGE + BTB + RAS)."""
+
+from repro.bpu.unit import BranchPredictionUnit
+from repro.isa.builder import ProgramBuilder
+from repro.isa.emulator import collect_trace
+
+
+def _loop_trace(iterations_uops=400):
+    b = ProgramBuilder("bpu_loop")
+    b.movi("r1", 0)
+    b.label("loop")
+    b.addi("r1", "r1", 1)
+    b.cmp("r1", imm=1 << 30)
+    b.bne("loop")
+    return collect_trace(b.build(), iterations_uops)
+
+
+def _call_ret_trace(uops=200):
+    b = ProgramBuilder("calls")
+    b.jmp("main")
+    b.label("leaf")
+    b.addi("r2", "r2", 1)
+    b.ret()
+    b.label("main")
+    b.movi("r1", 0)
+    b.label("loop")
+    b.call("leaf")
+    b.addi("r1", "r1", 1)
+    b.cmp("r1", imm=1 << 30)
+    b.bne("loop")
+    return collect_trace(b.build(), uops)
+
+
+class TestConditionalBranches:
+    def test_backward_loop_branch_quickly_predicted(self):
+        unit = BranchPredictionUnit()
+        mispredictions = 0
+        for inst in _loop_trace():
+            if not inst.uop.is_branch:
+                continue
+            outcome = unit.predict(inst)
+            if outcome.mispredicted:
+                mispredictions += 1
+            unit.train(inst, outcome)
+        assert mispredictions < 10
+
+    def test_history_updated_with_actual_outcomes(self):
+        unit = BranchPredictionUnit()
+        trace = _loop_trace(40)
+        for inst in trace:
+            if inst.uop.is_branch:
+                unit.predict(inst)
+        assert unit.history.bits != 0
+
+    def test_high_confidence_emerges_for_stable_branches(self):
+        unit = BranchPredictionUnit()
+        saw_high_confidence = False
+        for inst in _loop_trace(600):
+            if not inst.uop.is_conditional_branch:
+                continue
+            outcome = unit.predict(inst)
+            saw_high_confidence |= outcome.high_confidence
+            unit.train(inst, outcome)
+        assert saw_high_confidence
+
+    def test_btb_miss_on_first_taken_encounter_resolves_at_decode(self):
+        unit = BranchPredictionUnit()
+        decode_redirects = 0
+        for inst in _loop_trace(60):
+            if not inst.uop.is_conditional_branch:
+                continue
+            outcome = unit.predict(inst)
+            decode_redirects += outcome.resolved_at_decode
+            unit.train(inst, outcome)
+        # Only the very first taken encounter should miss the BTB.
+        assert decode_redirects <= 2
+
+
+class TestCallsAndReturns:
+    def test_returns_predicted_by_ras(self):
+        unit = BranchPredictionUnit()
+        ret_mispredictions = 0
+        rets = 0
+        for inst in _call_ret_trace(400):
+            if not inst.uop.is_branch:
+                continue
+            outcome = unit.predict(inst)
+            if inst.uop.opcode.value == "ret":
+                rets += 1
+                ret_mispredictions += outcome.mispredicted
+            unit.train(inst, outcome)
+        assert rets > 10
+        assert ret_mispredictions == 0
+
+    def test_direct_jumps_and_calls_are_never_direction_mispredicted(self):
+        unit = BranchPredictionUnit()
+        for inst in _call_ret_trace(200):
+            if inst.uop.is_branch and not inst.uop.is_conditional_branch:
+                outcome = unit.predict(inst)
+                assert not outcome.direction_mispredicted
+                assert outcome.predicted_taken
+
+    def test_counters_track_branch_kinds(self):
+        unit = BranchPredictionUnit()
+        for inst in _call_ret_trace(200):
+            if inst.uop.is_branch:
+                unit.predict(inst)
+        assert unit.conditional_branches > 0
+        assert unit.unconditional_branches > 0
+
+
+class TestIndirectBranches:
+    def test_stable_indirect_target_learned_after_first_miss(self):
+        b = ProgramBuilder("indirect")
+        b.movi("r1", 0)
+        b.la("r2", "target")
+        b.label("loop")
+        b.jmpi("r2")
+        b.label("target")
+        b.addi("r1", "r1", 1)
+        b.cmp("r1", imm=1 << 30)
+        b.bne("loop")
+        trace = collect_trace(b.build(), 300)
+        unit = BranchPredictionUnit()
+        indirect_mispredictions = 0
+        indirects = 0
+        for inst in trace:
+            if not inst.uop.is_branch:
+                continue
+            outcome = unit.predict(inst)
+            if inst.uop.opcode.value == "jmpi":
+                indirects += 1
+                indirect_mispredictions += outcome.mispredicted
+            unit.train(inst, outcome)
+        assert indirects > 10
+        assert indirect_mispredictions <= 1

@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite.
+
+The pipeline tests deliberately run *small* programs (a few hundred to a few thousand
+µ-ops) on scaled-down predictor tables so that the whole suite stays fast while still
+exercising every subsystem.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.emulator import ArchState
+from repro.isa.program import Program
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.simulator import Simulator
+from repro.pipeline.stats import SimulationResult
+
+
+def build_counted_loop(
+    body_builder=None, name: str = "loop", iterations: int = 1 << 40
+) -> Program:
+    """A simple counted loop; ``body_builder(b, i)`` emits the per-iteration body."""
+    b = ProgramBuilder(name)
+    b.movi("r1", 0)
+    b.movi("r2", 0)
+    b.label("loop")
+    if body_builder is not None:
+        body_builder(b)
+    b.addi("r1", "r1", 1)
+    b.cmp("r1", imm=iterations)
+    b.bne("loop")
+    return b.build()
+
+
+def predictable_chain_loop(chain_ops: int = 6, fillers: int = 6) -> Program:
+    """Loop with one stride-predictable serial chain plus independent filler work."""
+
+    def body(b: ProgramBuilder) -> None:
+        for _ in range(chain_ops):
+            b.addi("r10", "r10", 3)
+        for index in range(fillers):
+            b.movi(f"r{16 + index % 8}", index)
+
+    return build_counted_loop(body, name="predictable_chain")
+
+
+def run_simulation(
+    config: PipelineConfig,
+    program: Program,
+    max_uops: int = 2000,
+    warmup_uops: int = 0,
+    arch_state: ArchState | None = None,
+) -> SimulationResult:
+    """Run a small simulation and return its result."""
+    simulator = Simulator(
+        config,
+        program,
+        max_uops=max_uops,
+        warmup_uops=warmup_uops,
+        arch_state=arch_state,
+    )
+    return simulator.run()
+
+
+def small_config(**overrides) -> PipelineConfig:
+    """A pipeline configuration with small predictor tables (fast warm-up) for tests."""
+    defaults = dict(name="test_config", predictor_name="hybrid-small")
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+@pytest.fixture
+def simple_loop() -> Program:
+    """A tiny predictable loop program."""
+    return predictable_chain_loop()
+
+
+@pytest.fixture
+def fresh_state() -> ArchState:
+    """An empty architectural state."""
+    return ArchState()

@@ -1,0 +1,47 @@
+"""Tests for the EOLE variant configuration (Section 6.5 modularity)."""
+
+from repro.core.eole import EOLEConfig, EOLEVariant, eole_config
+
+
+class TestVariants:
+    def test_full_eole_enables_both_blocks(self):
+        config = eole_config(EOLEVariant.EOLE)
+        assert config.enabled
+        assert config.early.enabled and config.late.enabled
+
+    def test_ole_is_late_execution_only(self):
+        config = eole_config(EOLEVariant.OLE)
+        assert not config.early.enabled
+        assert config.late.enabled
+        assert config.variant.has_late_execution
+        assert not config.variant.has_early_execution
+
+    def test_eoe_is_early_execution_only(self):
+        config = eole_config(EOLEVariant.EOE)
+        assert config.early.enabled
+        assert not config.late.enabled
+
+    def test_none_disables_everything(self):
+        config = EOLEConfig(variant=EOLEVariant.NONE)
+        assert not config.enabled
+        assert not config.early.enabled
+        assert not config.late.enabled
+
+    def test_constructor_knobs_forwarded(self):
+        config = eole_config(
+            EOLEVariant.EOLE,
+            ee_depth=2,
+            ee_alus=4,
+            le_alus=4,
+            resolve_high_confidence_branches=False,
+        )
+        assert config.early.depth == 2
+        assert config.early.alus_per_stage == 4
+        assert config.late.alus == 4
+        assert not config.late.resolve_high_confidence_branches
+
+    def test_variant_string_values(self):
+        assert EOLEVariant("eole") is EOLEVariant.EOLE
+        assert EOLEVariant("ole") is EOLEVariant.OLE
+        assert EOLEVariant("eoe") is EOLEVariant.EOE
+        assert EOLEVariant("none") is EOLEVariant.NONE

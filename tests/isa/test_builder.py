@@ -1,0 +1,121 @@
+"""Tests for the assembly-like program builder DSL."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcode import Opcode
+from repro.isa.registers import FLAGS_REG, fp_reg, int_reg
+
+
+class TestOperands:
+    def test_register_names_and_ids_are_equivalent(self):
+        b1 = ProgramBuilder()
+        b1.add("r1", "r2", "r3")
+        b2 = ProgramBuilder()
+        b2.add(int_reg(1), int_reg(2), int_reg(3))
+        assert b1._uops[0] == b2._uops[0]
+
+    def test_alu_requires_register_or_immediate(self):
+        b = ProgramBuilder()
+        with pytest.raises(ProgramError):
+            b.add("r1", "r2", None)
+
+    def test_immediate_form(self):
+        b = ProgramBuilder()
+        uop = b.addi("r1", "r2", 42)
+        assert uop.imm == 42
+        assert uop.srcs == (int_reg(2),)
+
+    def test_cmp_sets_flags(self):
+        b = ProgramBuilder()
+        assert b.cmp("r1", imm=0).sets_flags
+
+    def test_branch_reads_flags(self):
+        b = ProgramBuilder()
+        b.label("t")
+        assert b.beq("t").srcs == (FLAGS_REG,)
+
+    def test_memory_forms(self):
+        b = ProgramBuilder()
+        load = b.ld("r1", "r2", 16)
+        store = b.st("r2", "r3", 24)
+        assert load.opcode is Opcode.LD and load.imm == 16
+        assert store.opcode is Opcode.ST and store.srcs == (int_reg(2), int_reg(3))
+
+    def test_fp_forms_use_fp_registers(self):
+        b = ProgramBuilder()
+        uop = b.fadd("f1", "f2", "f3")
+        assert uop.dst == fp_reg(1)
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ProgramError):
+            b.label("x")
+
+
+class TestBuild:
+    def test_build_resolves_program(self):
+        b = ProgramBuilder("t")
+        b.movi("r1", 1)
+        b.label("end")
+        b.jmp("end")
+        program = b.build()
+        assert program.resolved
+        assert program.target_of(1) == 1
+
+    def test_build_with_missing_label_fails(self):
+        b = ProgramBuilder("t")
+        b.jmp("missing")
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_every_opcode_family_is_emittable(self):
+        b = ProgramBuilder("all")
+        b.label("start")
+        b.movi("r1", 5)
+        b.add("r2", "r1", "r1")
+        b.sub("r3", "r2", "r1")
+        b.and_("r4", "r2", imm=0xFF)
+        b.or_("r5", "r2", "r3")
+        b.xor("r6", "r2", imm=1)
+        b.shl("r7", "r2", 2)
+        b.shr("r8", "r2", 2)
+        b.mov("r9", "r2")
+        b.not_("r10", "r2")
+        b.neg("r11", "r2")
+        b.min_("r12", "r1", "r2")
+        b.max_("r13", "r1", "r2")
+        b.mul("r14", "r1", "r2")
+        b.div("r15", "r2", "r1")
+        b.mod("r16", "r2", "r1")
+        b.fmov("f1", "f0")
+        b.fcvt("f2", "r1")
+        b.fadd("f3", "f1", "f2")
+        b.fsub("f4", "f3", "f2")
+        b.fmul("f5", "f3", "f2")
+        b.fma("f6", "f3", "f2", "f1")
+        b.fdiv("f7", "f3", "f2")
+        b.fsqrt("f8", "f3")
+        b.ld("r17", "r1", 0)
+        b.fld("f9", "r1", 8)
+        b.st("r1", "r2", 0)
+        b.fst("r1", "f3", 8)
+        b.cmp("r1", "r2")
+        b.beq("start")
+        b.bne("start")
+        b.blt("start")
+        b.bge("start")
+        b.bgt("start")
+        b.ble("start")
+        b.bcs("start")
+        b.bvs("start")
+        b.call("start")
+        b.ret()
+        b.la("r18", "start")
+        b.jmpi("r18")
+        b.nop()
+        b.jmp("start")
+        program = b.build()
+        assert len(program) == 43

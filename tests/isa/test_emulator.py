@@ -1,0 +1,224 @@
+"""Tests for the architectural emulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.emulator import ArchState, Emulator, collect_trace, _default_memory_value
+from repro.isa.flags import MASK64
+from repro.isa.registers import FLAGS_REG
+from repro.workloads.generator import RandomProgramGenerator
+
+
+def _run(builder: ProgramBuilder, max_uops: int = 1000):
+    return collect_trace(builder.build(), max_uops)
+
+
+class TestArithmetic:
+    def test_add_and_immediate(self):
+        b = ProgramBuilder()
+        b.movi("r1", 5)
+        b.addi("r2", "r1", 7)
+        b.add("r3", "r1", "r2")
+        trace = _run(b)
+        assert trace[1].result == 12
+        assert trace[2].result == 17
+
+    def test_sub_wraps_to_64_bits(self):
+        b = ProgramBuilder()
+        b.movi("r1", 0)
+        b.subi("r2", "r1", 1)
+        trace = _run(b)
+        assert trace[1].result == MASK64
+
+    def test_logical_and_shift_ops(self):
+        b = ProgramBuilder()
+        b.movi("r1", 0b1100)
+        b.and_("r2", "r1", imm=0b1010)
+        b.or_("r3", "r1", imm=0b0001)
+        b.xor("r4", "r1", imm=0b1111)
+        b.shl("r5", "r1", 2)
+        b.shr("r6", "r1", 2)
+        trace = _run(b)
+        assert [t.result for t in trace[1:]] == [0b1000, 0b1101, 0b0011, 0b110000, 0b11]
+
+    def test_mul_div_mod(self):
+        b = ProgramBuilder()
+        b.movi("r1", 20)
+        b.movi("r2", 6)
+        b.mul("r3", "r1", "r2")
+        b.div("r4", "r1", "r2")
+        b.mod("r5", "r1", "r2")
+        trace = _run(b)
+        assert [t.result for t in trace[2:]] == [120, 3, 2]
+
+    def test_division_by_zero_is_defined(self):
+        b = ProgramBuilder()
+        b.movi("r1", 5)
+        b.movi("r2", 0)
+        b.div("r3", "r1", "r2")
+        b.mod("r4", "r1", "r2")
+        trace = _run(b)
+        assert trace[2].result == MASK64
+        assert trace[3].result == 0
+
+    def test_min_max_neg_not(self):
+        b = ProgramBuilder()
+        b.movi("r1", 9)
+        b.movi("r2", 4)
+        b.min_("r3", "r1", "r2")
+        b.max_("r4", "r1", "r2")
+        b.neg("r5", "r2")
+        b.not_("r6", "r2")
+        trace = _run(b)
+        assert trace[2].result == 4
+        assert trace[3].result == 9
+        assert trace[4].result == (-4) & MASK64
+        assert trace[5].result == (~4) & MASK64
+
+
+class TestMemory:
+    def test_store_then_load_round_trip(self):
+        b = ProgramBuilder()
+        b.movi("r1", 0x1000)
+        b.movi("r2", 777)
+        b.st("r1", "r2", 8)
+        b.ld("r3", "r1", 8)
+        trace = _run(b)
+        assert trace[2].addr == 0x1008
+        assert trace[2].store_value == 777
+        assert trace[3].result == 777
+
+    def test_uninitialised_memory_is_deterministic(self):
+        b = ProgramBuilder()
+        b.movi("r1", 0x2000)
+        b.ld("r2", "r1", 0)
+        first = _run(b)[1].result
+        second = _run(b)[1].result
+        assert first == second == _default_memory_value(0x2000)
+
+    def test_initialise_array_helper(self):
+        state = ArchState()
+        state.initialise_array(0x100, [1, 2, 3])
+        assert state.read_mem(0x100) == 1
+        assert state.read_mem(0x110) == 3
+
+
+class TestControlFlow:
+    def test_counted_loop_executes_expected_iterations(self):
+        b = ProgramBuilder()
+        b.movi("r1", 0)
+        b.label("loop")
+        b.addi("r1", "r1", 1)
+        b.cmp("r1", imm=3)
+        b.bne("loop")
+        b.movi("r2", 99)
+        trace = collect_trace(b.build(), 100)
+        # 3 iterations of (add, cmp, bne) plus movi r1 and the trailing movi.
+        assert len(trace) == 1 + 3 * 3 + 1
+        assert trace[-1].result == 99
+
+    def test_branch_taken_flag_and_target(self):
+        b = ProgramBuilder()
+        b.movi("r1", 1)
+        b.cmp("r1", imm=1)
+        b.beq("skip")
+        b.movi("r2", 123)
+        b.label("skip")
+        b.movi("r3", 5)
+        trace = collect_trace(b.build(), 10)
+        branch = trace[2]
+        assert branch.taken
+        assert branch.next_pc == 4
+        assert trace[3].uop.opcode.value == "movi" and trace[3].result == 5
+
+    def test_call_and_ret_use_shadow_stack(self):
+        b = ProgramBuilder()
+        b.jmp("main")
+        b.label("func")
+        b.movi("r5", 1)
+        b.ret()
+        b.label("main")
+        b.call("func")
+        b.movi("r6", 2)
+        trace = collect_trace(b.build(), 20)
+        opcodes = [t.uop.opcode.value for t in trace]
+        assert opcodes == ["jmp", "call", "movi", "ret", "movi"]
+        assert trace[3].next_pc == 4  # returns to the µ-op after the call
+
+    def test_ret_with_empty_stack_halts(self):
+        b = ProgramBuilder()
+        b.movi("r1", 1)
+        b.ret()
+        b.movi("r2", 2)
+        trace = collect_trace(b.build(), 10)
+        assert len(trace) == 2
+
+    def test_indirect_jump(self):
+        b = ProgramBuilder()
+        b.la("r1", "target")
+        b.jmpi("r1")
+        b.movi("r2", 1)
+        b.label("target")
+        b.movi("r3", 2)
+        trace = collect_trace(b.build(), 10)
+        assert trace[1].next_pc == 3
+        assert trace[2].result == 2
+
+    def test_flags_register_visible_to_branches(self):
+        b = ProgramBuilder()
+        b.movi("r1", 2)
+        b.cmp("r1", imm=5)
+        b.blt("less")
+        b.movi("r2", 0)
+        b.label("less")
+        b.movi("r3", 1)
+        trace = collect_trace(b.build(), 10)
+        assert trace[2].taken
+        assert trace[2].flags_in is not None
+
+    def test_program_falls_off_end_and_halts(self):
+        b = ProgramBuilder()
+        b.movi("r1", 1)
+        b.movi("r2", 2)
+        trace = collect_trace(b.build(), 100)
+        assert len(trace) == 2
+
+
+class TestRunControl:
+    def test_run_respects_max_uops(self):
+        b = ProgramBuilder()
+        b.movi("r1", 0)
+        b.label("loop")
+        b.addi("r1", "r1", 1)
+        b.jmp("loop")
+        trace = collect_trace(b.build(), 50)
+        assert len(trace) == 50
+
+    def test_step_returns_none_after_halt(self):
+        b = ProgramBuilder()
+        b.movi("r1", 1)
+        emulator = Emulator(b.build())
+        assert emulator.step() is not None
+        assert emulator.step() is None
+        assert emulator.halted
+
+    def test_sequence_numbers_are_contiguous(self):
+        b = ProgramBuilder()
+        b.movi("r1", 0)
+        b.label("loop")
+        b.addi("r1", "r1", 1)
+        b.jmp("loop")
+        trace = collect_trace(b.build(), 30)
+        assert [t.seq for t in trace] == list(range(30))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_random_programs_always_execute(self, seed):
+        program = RandomProgramGenerator(seed).generate(body_ops=20)
+        trace = collect_trace(program, 300)
+        assert len(trace) == 300
+        for inst in trace:
+            if inst.result is not None:
+                assert 0 <= inst.result <= MASK64

@@ -1,0 +1,80 @@
+"""Tests for flag computation and the paper's flag-approximation rules."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import flags as fl
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestExactFlags:
+    def test_zero_flag(self):
+        assert fl.flags_from_result(0) & fl.ZF
+        assert not fl.flags_from_result(1) & fl.ZF
+
+    def test_sign_flag(self):
+        assert fl.flags_from_result(1 << 63) & fl.SF
+        assert not fl.flags_from_result(1) & fl.SF
+
+    def test_parity_flag_counts_low_byte_only(self):
+        assert fl.flags_from_result(0b11) & fl.PF  # two bits set -> even parity
+        assert not fl.flags_from_result(0b1) & fl.PF
+        # Upper bytes must not influence PF.
+        assert bool(fl.flags_from_result(0x0100) & fl.PF) == bool(
+            fl.flags_from_result(0) & fl.PF
+        )
+
+    def test_add_carry(self):
+        flags = fl.add_flags((1 << 64) - 1, 1)
+        assert flags & fl.CF
+        assert flags & fl.ZF
+
+    def test_add_overflow_positive(self):
+        # Adding two large positive signed numbers overflows into the sign bit.
+        flags = fl.add_flags((1 << 62), (1 << 62))
+        assert flags & fl.OF
+        assert flags & fl.SF
+
+    def test_sub_borrow(self):
+        assert fl.sub_flags(0, 1) & fl.CF
+        assert not fl.sub_flags(1, 1) & fl.CF
+
+    def test_sub_equal_sets_zero(self):
+        assert fl.sub_flags(123, 123) & fl.ZF
+
+    def test_logic_flags_clear_carry_and_overflow(self):
+        flags = fl.logic_flags((1 << 63) | 1)
+        assert not flags & fl.CF
+        assert not flags & fl.OF
+        assert flags & fl.SF
+
+
+class TestApproximateFlags:
+    def test_overflow_always_zero(self):
+        assert not fl.approximate_flags((1 << 62) * 2) & fl.OF
+
+    def test_carry_mirrors_sign(self):
+        assert fl.approximate_flags(1 << 63) & fl.CF
+        assert not fl.approximate_flags(1) & fl.CF
+
+    @given(U64)
+    def test_result_derived_bits_match_exact(self, value):
+        approx = fl.approximate_flags(value)
+        exact = fl.flags_from_result(value)
+        assert approx & fl.RESULT_DERIVED_FLAGS == exact & fl.RESULT_DERIVED_FLAGS
+
+    @given(U64, U64)
+    def test_validation_match_requires_all_flags(self, a, b):
+        exact = fl.add_flags(a, b)
+        approx = fl.approximate_flags((a + b) & fl.MASK64)
+        matches = fl.flags_match_for_validation(exact, approx)
+        assert matches == (exact == approx)
+
+    def test_logic_result_always_validates(self):
+        # For logic operations CF=OF=0 exactly, and the approximation only sets CF when
+        # SF is set, so a non-negative logic result always validates.
+        result = 0x0F0F
+        assert fl.flags_match_for_validation(
+            fl.logic_flags(result), fl.approximate_flags(result)
+        )

@@ -1,0 +1,85 @@
+"""Tests for opcodes, operation classes and latencies."""
+
+from repro.isa.opcode import (
+    BRANCH_CLASSES,
+    MEMORY_CLASSES,
+    OPCLASS_LATENCY,
+    OPCODE_CLASS,
+    Opcode,
+    OpClass,
+    SINGLE_CYCLE_ALU_CLASSES,
+    UNPIPELINED_CLASSES,
+    is_branch,
+    is_conditional_branch,
+    is_load,
+    is_memory,
+    is_single_cycle_alu,
+    is_store,
+    latency_of,
+    opclass_of,
+)
+
+
+class TestClassification:
+    def test_every_opcode_has_a_class(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_CLASS
+
+    def test_every_class_has_a_latency(self):
+        for opclass in OpClass:
+            assert opclass in OPCLASS_LATENCY
+
+    def test_add_is_single_cycle_alu(self):
+        assert opclass_of(Opcode.ADD) is OpClass.INT_ALU
+        assert is_single_cycle_alu(Opcode.ADD)
+        assert latency_of(Opcode.ADD) == 1
+
+    def test_mul_and_div_latencies_match_table1(self):
+        assert latency_of(Opcode.MUL) == 3
+        assert latency_of(Opcode.DIV) == 25
+
+    def test_fp_latencies_match_table1(self):
+        assert latency_of(Opcode.FADD) == 3
+        assert latency_of(Opcode.FMUL) == 5
+        assert latency_of(Opcode.FDIV) == 10
+
+    def test_divisions_are_unpipelined(self):
+        assert OpClass.INT_DIV in UNPIPELINED_CLASSES
+        assert OpClass.FP_DIV in UNPIPELINED_CLASSES
+        assert OpClass.INT_MUL not in UNPIPELINED_CLASSES
+
+    def test_only_int_alu_is_eole_candidate_class(self):
+        assert SINGLE_CYCLE_ALU_CLASSES == {OpClass.INT_ALU}
+        assert not is_single_cycle_alu(Opcode.FADD)
+        assert not is_single_cycle_alu(Opcode.LD)
+        assert not is_single_cycle_alu(Opcode.MUL)
+
+
+class TestPredicates:
+    def test_branch_predicates(self):
+        assert is_branch(Opcode.BEQ)
+        assert is_branch(Opcode.JMP)
+        assert is_branch(Opcode.CALL)
+        assert is_branch(Opcode.RET)
+        assert is_branch(Opcode.JMPI)
+        assert not is_branch(Opcode.ADD)
+
+    def test_conditional_branch_predicate(self):
+        assert is_conditional_branch(Opcode.BNE)
+        assert not is_conditional_branch(Opcode.JMP)
+        assert not is_conditional_branch(Opcode.RET)
+
+    def test_memory_predicates(self):
+        assert is_load(Opcode.LD)
+        assert is_load(Opcode.FLD)
+        assert is_store(Opcode.ST)
+        assert is_store(Opcode.FST)
+        assert is_memory(Opcode.LD) and is_memory(Opcode.ST)
+        assert not is_memory(Opcode.ADD)
+
+    def test_branch_classes_are_disjoint_from_memory_classes(self):
+        assert not BRANCH_CLASSES & MEMORY_CLASSES
+
+    def test_loads_and_stores_in_memory_classes(self):
+        assert opclass_of(Opcode.LD) in MEMORY_CLASSES
+        assert opclass_of(Opcode.FST) in MEMORY_CLASSES

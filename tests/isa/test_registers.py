@@ -1,0 +1,88 @@
+"""Tests for the architectural register namespace."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProgramError
+from repro.isa import registers as regs
+
+
+class TestRegisterIds:
+    def test_integer_registers_start_at_zero(self):
+        assert regs.int_reg(0) == 0
+        assert regs.int_reg(31) == 31
+
+    def test_fp_registers_follow_integer_registers(self):
+        assert regs.fp_reg(0) == regs.NUM_INT_REGS
+        assert regs.fp_reg(31) == regs.NUM_INT_REGS + 31
+
+    def test_flags_register_is_last(self):
+        assert regs.FLAGS_REG == regs.NUM_ARCH_REGS - 1
+
+    def test_total_register_count(self):
+        assert regs.NUM_ARCH_REGS == regs.NUM_INT_REGS + regs.NUM_FP_REGS + 1
+
+    def test_out_of_range_int_register_rejected(self):
+        with pytest.raises(ProgramError):
+            regs.int_reg(32)
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ProgramError):
+            regs.int_reg(-1)
+
+    def test_out_of_range_fp_register_rejected(self):
+        with pytest.raises(ProgramError):
+            regs.fp_reg(32)
+
+
+class TestPredicates:
+    def test_int_reg_predicate(self):
+        assert regs.is_int_reg(0)
+        assert regs.is_int_reg(31)
+        assert not regs.is_int_reg(32)
+
+    def test_fp_reg_predicate(self):
+        assert regs.is_fp_reg(regs.fp_reg(5))
+        assert not regs.is_fp_reg(5)
+
+    def test_flags_predicate(self):
+        assert regs.is_flags_reg(regs.FLAGS_REG)
+        assert not regs.is_flags_reg(0)
+
+    def test_valid_reg_bounds(self):
+        assert regs.is_valid_reg(0)
+        assert regs.is_valid_reg(regs.NUM_ARCH_REGS - 1)
+        assert not regs.is_valid_reg(regs.NUM_ARCH_REGS)
+        assert not regs.is_valid_reg(-1)
+
+
+class TestNames:
+    def test_int_name_round_trip(self):
+        assert regs.reg_name(regs.parse_reg("r7")) == "r7"
+
+    def test_fp_name_round_trip(self):
+        assert regs.reg_name(regs.parse_reg("f12")) == "f12"
+
+    def test_flags_name_round_trip(self):
+        assert regs.reg_name(regs.parse_reg("flags")) == "flags"
+
+    def test_parse_is_case_insensitive(self):
+        assert regs.parse_reg("R3") == regs.int_reg(3)
+        assert regs.parse_reg("FLAGS") == regs.FLAGS_REG
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ProgramError):
+            regs.parse_reg("x5")
+
+    def test_parse_rejects_out_of_range(self):
+        with pytest.raises(ProgramError):
+            regs.parse_reg("r99")
+
+    def test_reg_name_rejects_invalid_id(self):
+        with pytest.raises(ProgramError):
+            regs.reg_name(regs.NUM_ARCH_REGS)
+
+    @given(st.integers(min_value=0, max_value=regs.NUM_ARCH_REGS - 1))
+    def test_name_parse_round_trip_property(self, reg):
+        assert regs.parse_reg(regs.reg_name(reg)) == reg

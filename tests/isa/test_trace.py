@@ -1,0 +1,69 @@
+"""Tests for dynamic-trace records and trace characterisation."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.emulator import collect_trace, generate_trace
+from repro.isa.opcode import OpClass
+from repro.isa.trace import characterize, take
+
+
+def _mixed_program():
+    b = ProgramBuilder("mix")
+    b.movi("r1", 0)
+    b.movi("r2", 0x1000)
+    b.label("loop")
+    b.addi("r1", "r1", 1)
+    b.ld("r3", "r2", 0)
+    b.st("r2", "r1", 8)
+    b.fadd("f1", "f1", "f2")
+    b.cmp("r1", imm=1 << 30)
+    b.bne("loop")
+    return b.build()
+
+
+class TestCharacterize:
+    def test_counts_and_ratios(self):
+        stats = characterize(collect_trace(_mixed_program(), 602))
+        assert stats.total == 602
+        assert stats.loads == 100
+        assert stats.stores == 100
+        assert stats.branches == 100
+        assert 0 < stats.branch_ratio < 0.2
+        assert abs(stats.memory_ratio - 200 / 602) < 1e-9
+
+    def test_vp_eligible_excludes_stores_and_branches(self):
+        stats = characterize(collect_trace(_mixed_program(), 602))
+        # movi, addi, ld, fadd and cmp-less ops produce results; stores/branches/cmp not.
+        assert stats.vp_eligible == stats.total - stats.stores - stats.branches - 100
+
+    def test_distinct_pcs_bounded_by_program_size(self):
+        program = _mixed_program()
+        stats = characterize(collect_trace(program, 500))
+        assert stats.distinct_pcs <= len(program)
+
+    def test_per_class_totals_sum_to_total(self):
+        stats = characterize(collect_trace(_mixed_program(), 300))
+        assert sum(stats.per_class.values()) == stats.total
+
+    def test_class_ratio(self):
+        stats = characterize(collect_trace(_mixed_program(), 300))
+        assert stats.class_ratio(OpClass.LOAD) > 0
+        assert stats.class_ratio(OpClass.INT_DIV) == 0
+
+    def test_empty_trace(self):
+        stats = characterize([])
+        assert stats.total == 0
+        assert stats.branch_ratio == 0.0
+        assert stats.vp_eligible_ratio == 0.0
+
+
+class TestTake:
+    def test_take_limits_count(self):
+        stream = generate_trace(_mixed_program(), 1000)
+        first = take(stream, 10)
+        assert len(first) == 10
+        assert [i.seq for i in first] == list(range(10))
+
+    def test_take_handles_short_streams(self):
+        b = ProgramBuilder()
+        b.movi("r1", 1)
+        assert len(take(generate_trace(b.build(), 100), 50)) == 1

@@ -1,0 +1,66 @@
+"""Tests for the composed memory hierarchy."""
+
+from repro.mem.hierarchy import MemoryHierarchy, MemoryHierarchyConfig
+
+
+def _hierarchy(**overrides) -> MemoryHierarchy:
+    return MemoryHierarchy(MemoryHierarchyConfig(**overrides))
+
+
+class TestLoads:
+    def test_l1_hit_latency(self):
+        hierarchy = _hierarchy()
+        hierarchy.load(0x1000, pc=1, cycle=0)
+        assert hierarchy.load(0x1000, pc=1, cycle=10) == 2
+
+    def test_l1_miss_l2_hit_latency(self):
+        hierarchy = _hierarchy()
+        hierarchy.load(0x1000, pc=1, cycle=0)  # warm L2 (and L1)
+        # Evict from L1 by touching many other lines mapping everywhere.
+        for index in range(1024):
+            hierarchy.l1d.access(0x100000 + index * 64)
+        latency = hierarchy.load(0x1000, pc=1, cycle=5000)
+        assert latency == 2 + 12
+
+    def test_cold_miss_reaches_dram(self):
+        hierarchy = _hierarchy()
+        latency = hierarchy.load(0x5000, pc=1, cycle=0)
+        assert latency >= 2 + 12 + 75
+
+    def test_dram_latency_bounded(self):
+        hierarchy = _hierarchy()
+        latencies = [hierarchy.load(0x100000 * (i + 1), pc=1, cycle=i * 10) for i in range(20)]
+        assert all(latency <= 2 + 12 + 185 + 64 for latency in latencies)
+
+    def test_prefetcher_hides_strided_stream_misses(self):
+        """After training, a strided stream should mostly hit in the L2 (Table 1 prefetcher)."""
+        hierarchy = _hierarchy()
+        latencies = []
+        for index in range(64):
+            latencies.append(hierarchy.load(0x40_0000 + index * 64, pc=7, cycle=index * 50))
+        early = latencies[:4]
+        late = latencies[-32:]
+        assert max(late) <= 2 + 12  # prefetched into L2 (or still L1-resident)
+        assert max(early) > 14  # the first accesses had to go to DRAM
+
+
+class TestStoresAndFetch:
+    def test_store_warms_the_caches(self):
+        hierarchy = _hierarchy()
+        hierarchy.store(0x9000, pc=3, cycle=0)
+        assert hierarchy.load(0x9000, pc=3, cycle=10) == 2
+
+    def test_instruction_fetch_hits_after_first_access(self):
+        hierarchy = _hierarchy()
+        first = hierarchy.fetch(100, cycle=0)
+        second = hierarchy.fetch(101, cycle=1)  # same 64B line (4 bytes per µ-op)
+        assert first > second
+        assert second == hierarchy.config.l1i_latency
+
+    def test_statistics_accumulate(self):
+        hierarchy = _hierarchy()
+        hierarchy.load(0x1000, pc=1, cycle=0)
+        hierarchy.load(0x1000, pc=1, cycle=1)
+        assert hierarchy.l1d.stats.accesses == 2
+        assert hierarchy.l1d.stats.hits == 1
+        assert hierarchy.l2.stats.accesses == 1

@@ -1,0 +1,57 @@
+"""Tests for the in-flight µ-op record."""
+
+from repro.isa.microop import MicroOp
+from repro.isa.opcode import Opcode
+from repro.isa.trace import DynInst
+from repro.ooo.inflight import InflightOp, UNKNOWN_CYCLE
+from repro.vp.base import VPrediction
+
+
+def _op(opcode: Opcode = Opcode.ADD) -> InflightOp:
+    dst = 1 if opcode is Opcode.ADD else None
+    srcs = (2, 3) if opcode is Opcode.ADD else ()
+    return InflightOp(DynInst(seq=0, pc=0, uop=MicroOp(opcode, dst=dst, srcs=srcs)))
+
+
+class TestInflightOp:
+    def test_initial_timing_fields_unknown(self):
+        op = _op()
+        assert op.dispatch_cycle == UNKNOWN_CYCLE
+        assert op.issue_cycle == UNKNOWN_CYCLE
+        assert op.complete_cycle == UNKNOWN_CYCLE
+        assert not op.issued and not op.executed and not op.squashed
+
+    def test_result_availability_for_normal_execution(self):
+        op = _op()
+        assert op.result_available_cycle() == UNKNOWN_CYCLE
+        op.dispatch_cycle = 5
+        op.complete_cycle = 12
+        assert op.result_available_cycle() == 12
+
+    def test_result_availability_for_predicted_op(self):
+        op = _op()
+        op.dispatch_cycle = 5
+        op.pred_used = True
+        op.prediction = VPrediction(42, True, "test")
+        assert op.result_available_cycle() == 5
+
+    def test_result_availability_for_early_executed_op(self):
+        op = _op()
+        op.dispatch_cycle = 7
+        op.early_executed = True
+        assert op.result_available_cycle() == 7
+
+    def test_bypasses_ooo_engine(self):
+        op = _op()
+        assert not op.bypasses_ooo_engine()
+        op.early_executed = True
+        assert op.bypasses_ooo_engine()
+        op.early_executed = False
+        op.late_executed = True
+        assert op.bypasses_ooo_engine()
+
+    def test_wraps_dynamic_instruction_fields(self):
+        op = _op(Opcode.NOP)
+        assert op.seq == 0
+        assert op.pc == 0
+        assert op.uop.opcode is Opcode.NOP

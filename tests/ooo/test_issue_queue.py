@@ -1,0 +1,112 @@
+"""Tests for the unified issue queue (scheduler)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.microop import MicroOp
+from repro.isa.opcode import Opcode
+from repro.isa.trace import DynInst
+from repro.ooo.functional_units import FunctionalUnitConfig, FunctionalUnitPool
+from repro.ooo.inflight import InflightOp
+from repro.ooo.issue_queue import IssueQueue
+
+
+def _op(seq: int, opcode: Opcode = Opcode.ADD) -> InflightOp:
+    dst = 1 if opcode not in (Opcode.ST,) else None
+    uop = MicroOp(opcode, dst=dst, srcs=(2,) if opcode is not Opcode.ST else (2, 3), imm=0)
+    op = InflightOp(DynInst(seq=seq, pc=seq, uop=uop))
+    op.dispatch_cycle = 0
+    return op
+
+
+def _always_ready(op, cycle):
+    return True
+
+
+def _latency(op):
+    return op.uop.latency
+
+
+class TestCapacity:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            IssueQueue(capacity=0)
+
+    def test_has_space_and_occupancy(self):
+        iq = IssueQueue(capacity=2)
+        iq.insert(_op(0))
+        assert iq.occupancy == 1
+        assert iq.has_space()
+        iq.insert(_op(1))
+        assert not iq.has_space()
+        assert iq.peak_occupancy == 2
+
+
+class TestSelect:
+    def test_issue_width_respected(self):
+        iq = IssueQueue(capacity=16)
+        for seq in range(10):
+            iq.insert(_op(seq))
+        pool = FunctionalUnitPool()
+        selected = iq.select(5, 4, pool, _always_ready, _latency)
+        assert len(selected) == 4
+        assert iq.occupancy == 6  # entries released at issue
+
+    def test_oldest_first_selection(self):
+        iq = IssueQueue(capacity=16)
+        ops = [_op(seq) for seq in range(6)]
+        for op in ops:
+            iq.insert(op)
+        selected = iq.select(1, 3, FunctionalUnitPool(), _always_ready, _latency)
+        assert [op.seq for op in selected] == [0, 1, 2]
+
+    def test_not_ready_entries_are_skipped_but_kept(self):
+        iq = IssueQueue(capacity=16)
+        ops = [_op(seq) for seq in range(4)]
+        for op in ops:
+            iq.insert(op)
+        ready = lambda op, cycle: op.seq % 2 == 1
+        selected = iq.select(1, 4, FunctionalUnitPool(), ready, _latency)
+        assert [op.seq for op in selected] == [1, 3]
+        assert [op.seq for op in iq] == [0, 2]
+
+    def test_functional_unit_limit_blocks_issue(self):
+        iq = IssueQueue(capacity=16)
+        for seq in range(6):
+            iq.insert(_op(seq, Opcode.MUL))
+        pool = FunctionalUnitPool(FunctionalUnitConfig(mul_div=2))
+        selected = iq.select(1, 6, pool, _always_ready, _latency)
+        assert len(selected) == 2
+
+    def test_issue_marks_timing_fields(self):
+        iq = IssueQueue(capacity=4)
+        op = _op(0)
+        iq.insert(op)
+        iq.select(7, 1, FunctionalUnitPool(), _always_ready, _latency)
+        assert op.issued
+        assert op.issue_cycle == 7
+        assert not op.in_issue_queue
+
+    def test_squashed_entries_dropped_during_select(self):
+        iq = IssueQueue(capacity=8)
+        keep, squash = _op(0), _op(1)
+        squash.squashed = True
+        iq.insert(keep)
+        iq.insert(squash)
+        selected = iq.select(1, 4, FunctionalUnitPool(), _always_ready, _latency)
+        assert selected == [keep]
+        assert iq.occupancy == 0
+
+    def test_remove_squashed(self):
+        iq = IssueQueue(capacity=8)
+        ops = [_op(seq) for seq in range(4)]
+        for op in ops:
+            iq.insert(op)
+        ops[1].squashed = True
+        ops[3].squashed = True
+        iq.remove_squashed()
+        assert [op.seq for op in iq] == [0, 2]
+
+    def test_empty_select(self):
+        iq = IssueQueue(capacity=8)
+        assert iq.select(1, 4, FunctionalUnitPool(), _always_ready, _latency) == []

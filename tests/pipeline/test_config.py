@@ -1,0 +1,140 @@
+"""Tests for pipeline configurations, including the paper's named machines (Table 1)."""
+
+import pytest
+
+from repro.core.eole import EOLEVariant, eole_config
+from repro.errors import ConfigurationError
+from repro.pipeline.config import (
+    NAMED_CONFIGS,
+    PipelineConfig,
+    baseline_6_64,
+    baseline_vp_4_64,
+    baseline_vp_6_48,
+    baseline_vp_6_64,
+    eoe_4_64,
+    eole_4_64,
+    eole_4_64_4ports_4banks,
+    eole_4_64_banked,
+    eole_6_48,
+    eole_6_64,
+    named_config,
+    ole_4_64,
+)
+from repro.vp.hybrid import VTAGE2DStrideHybrid
+
+
+class TestTable1Defaults:
+    """Structural reproduction of Table 1's baseline machine parameters."""
+
+    def test_widths(self):
+        config = baseline_6_64()
+        assert config.fetch_width == 8
+        assert config.rename_width == 8
+        assert config.commit_width == 8
+        assert config.issue_width == 6
+        assert config.max_taken_branches_per_cycle == 2
+
+    def test_window_sizes(self):
+        config = baseline_6_64()
+        assert config.rob_size == 192
+        assert config.iq_size == 64
+        assert config.lq_size == 48 and config.sq_size == 48
+
+    def test_functional_units(self):
+        fu = baseline_6_64().functional_units
+        assert (fu.alu, fu.mul_div, fu.fp, fu.fp_mul_div, fu.mem_ports) == (6, 4, 6, 4, 4)
+
+    def test_memory_hierarchy_latencies(self):
+        memory = baseline_6_64().memory
+        assert memory.l1d_latency == 2
+        assert memory.l2_latency == 12
+        assert memory.dram_min_latency == 75
+        assert memory.dram_max_latency == 185
+        assert memory.prefetch_degree == 8
+
+    def test_front_end_depth_gives_19_cycle_fetch_to_commit(self):
+        config = baseline_6_64()
+        fetch_to_commit = (
+            config.fetch_to_dispatch_latency
+            + config.dispatch_to_issue_latency
+            + 1  # execute
+            + config.writeback_to_commit_latency
+        )
+        assert fetch_to_commit == 19
+        assert not config.has_levt_stage
+
+    def test_vp_configs_add_the_levt_stage(self):
+        assert baseline_vp_6_64().has_levt_stage
+        assert eole_4_64().has_levt_stage
+
+
+class TestNamedConfigs:
+    def test_all_paper_labels_present(self):
+        for label in (
+            "Baseline_6_64",
+            "Baseline_VP_6_64",
+            "Baseline_VP_4_64",
+            "Baseline_VP_6_48",
+            "EOLE_6_64",
+            "EOLE_4_64",
+            "EOLE_6_48",
+            "EOLE_4_64_4ports_4banks",
+            "OLE_4_64",
+            "EOE_4_64",
+        ):
+            assert label in NAMED_CONFIGS
+            assert named_config(label).name == label
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            named_config("EOLE_128_wide")
+
+    def test_issue_width_and_iq_variants(self):
+        assert baseline_vp_4_64().issue_width == 4
+        assert baseline_vp_6_48().iq_size == 48
+        assert eole_4_64().issue_width == 4
+        assert eole_6_48().iq_size == 48
+        assert eole_6_64().issue_width == 6
+
+    def test_eole_variants(self):
+        assert eole_4_64().eole.variant is EOLEVariant.EOLE
+        assert ole_4_64().eole.variant is EOLEVariant.OLE
+        assert eoe_4_64().eole.variant is EOLEVariant.EOE
+
+    def test_banked_design_point(self):
+        config = eole_4_64_4ports_4banks()
+        assert config.prf_banks == 4
+        assert config.levt_read_ports_per_bank == 4
+        assert config.ee_write_ports_per_bank == 2
+
+    def test_banked_factory_naming(self):
+        config = eole_4_64_banked(banks=8, levt_ports_per_bank=3)
+        assert "8banks" in config.name and "3ports" in config.name
+
+
+class TestValidationAndFactories:
+    def test_eole_requires_value_prediction(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(value_prediction=False, eole=eole_config(EOLEVariant.EOLE))
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(issue_width=0)
+
+    def test_unknown_predictor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(value_prediction=True, predictor_name="oracle")
+
+    def test_make_predictor_returns_hybrid_by_default(self):
+        predictor = baseline_vp_6_64().make_predictor()
+        assert isinstance(predictor, VTAGE2DStrideHybrid)
+
+    def test_derive_creates_modified_copy(self):
+        base = baseline_6_64()
+        derived = base.derive(issue_width=4, name="custom")
+        assert derived.issue_width == 4 and derived.name == "custom"
+        assert base.issue_width == 6
+
+    def test_frontend_capacity(self):
+        config = baseline_6_64()
+        assert config.frontend_capacity == config.fetch_to_dispatch_latency * config.fetch_width

@@ -1,0 +1,87 @@
+"""Branch handling in the timing simulator: penalties, redirects, calls and returns."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.workloads.kernels import RANDOM_BASE
+from tests.conftest import build_counted_loop, run_simulation, small_config
+
+
+def _predictable_branch_loop():
+    def body(b: ProgramBuilder) -> None:
+        for index in range(6):
+            b.movi(f"r{10 + index}", index)
+
+    return build_counted_loop(body, name="predictable_branches")
+
+
+def _unpredictable_branch_loop():
+    """Branches on pseudo-random memory content: frequent mispredictions."""
+    b = ProgramBuilder("unpredictable_branches")
+    b.movi("r1", 0)
+    b.movi("r2", 0)
+    b.label("loop")
+    b.addi("r2", "r2", 8)
+    b.and_("r2", "r2", imm=(1 << 12) - 1)
+    b.ld("r3", "r2", RANDOM_BASE)
+    b.and_("r4", "r3", imm=1)
+    b.cmp("r4", imm=0)
+    b.beq("skip")
+    b.addi("r5", "r5", 1)
+    b.label("skip")
+    for index in range(6):
+        b.movi(f"r{10 + index}", index)
+    b.addi("r1", "r1", 1)
+    b.cmp("r1", imm=1 << 40)
+    b.bne("loop")
+    return b.build()
+
+
+def _call_loop():
+    b = ProgramBuilder("calls")
+    b.jmp("main")
+    b.label("leaf")
+    b.addi("r3", "r3", 1)
+    b.ret()
+    b.label("main")
+    b.movi("r1", 0)
+    b.label("loop")
+    b.call("leaf")
+    b.addi("r1", "r1", 1)
+    b.cmp("r1", imm=1 << 40)
+    b.bne("loop")
+    return b.build()
+
+
+class TestConditionalBranches:
+    def test_predictable_loop_has_few_mispredictions(self):
+        result = run_simulation(small_config(), _predictable_branch_loop(), max_uops=1500)
+        assert result.stats.branch_mispredictions < 10
+        assert result.tage_misprediction_rate < 0.05
+
+    def test_unpredictable_branches_cost_performance(self):
+        good = run_simulation(small_config(), _predictable_branch_loop(), max_uops=1500)
+        bad = run_simulation(small_config(), _unpredictable_branch_loop(), max_uops=1500)
+        assert bad.stats.branch_mispredictions > 20
+        assert bad.ipc < good.ipc * 0.8
+
+    def test_misprediction_penalty_scale(self):
+        """Each misprediction should cost roughly the front-end refill (~20 cycles)."""
+        result = run_simulation(small_config(), _unpredictable_branch_loop(), max_uops=2000)
+        stats = result.stats
+        minimum_cycles = stats.committed_uops / small_config().commit_width
+        extra_cycles = stats.cycles - minimum_cycles
+        assert extra_cycles > stats.branch_mispredictions * 10
+
+    def test_decode_redirects_counted_for_first_taken_encounter(self):
+        result = run_simulation(small_config(), _predictable_branch_loop(), max_uops=800)
+        assert result.stats.decode_redirects >= 1
+
+
+class TestCallsAndReturns:
+    def test_call_return_loop_runs_at_reasonable_ipc(self):
+        result = run_simulation(small_config(), _call_loop(), max_uops=1200)
+        assert result.stats.committed_branches > 300
+        assert result.ipc > 1.0
+
+    def test_branch_mispredictions_rare_with_ras(self):
+        result = run_simulation(small_config(), _call_loop(), max_uops=1200)
+        assert result.stats.branch_mispredictions < 10

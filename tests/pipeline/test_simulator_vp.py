@@ -1,0 +1,101 @@
+"""Value-prediction behaviour in the pipeline: speedups, validation, squash recovery."""
+
+from repro.isa.builder import ProgramBuilder
+from tests.conftest import build_counted_loop, run_simulation, small_config
+
+
+def _predictable_serial_chain(chain_ops: int = 10, fillers: int = 8):
+    """A loop-carried, stride-predictable chain plus filler ILP: VP's best case."""
+
+    def body(b: ProgramBuilder) -> None:
+        for _ in range(chain_ops):
+            b.addi("r10", "r10", 5)
+        for index in range(fillers):
+            b.movi(f"r{16 + index % 8}", index)
+
+    return build_counted_loop(body, name="vp_friendly")
+
+
+def _unpredictable_serial_chain():
+    """A loop-carried chain through pseudo-random memory: VP cannot help."""
+    b = ProgramBuilder("vp_hostile")
+    b.movi("r1", 0)
+    b.movi("r4", 0)
+    b.label("loop")
+    for _ in range(3):
+        b.and_("r5", "r4", imm=(1 << 11) - 8)
+        b.ld("r4", "r5", 0x40000)
+    for index in range(6):
+        b.movi(f"r{16 + index}", index)
+    b.addi("r1", "r1", 1)
+    b.cmp("r1", imm=1 << 40)
+    b.bne("loop")
+    return b.build()
+
+
+def _phase_change_loop():
+    """Values stay constant long enough to saturate confidence, then change."""
+    b = ProgramBuilder("phase_change")
+    b.movi("r1", 0)
+    b.movi("r9", 7)
+    b.label("loop")
+    b.and_("r2", "r1", imm=0xFF)
+    b.cmp("r2", imm=0xFF)
+    b.bne("steady")
+    b.addi("r9", "r9", 1)  # the "constant" changes every 256 iterations
+    b.label("steady")
+    b.mov("r10", "r9")
+    b.add("r11", "r10", "r9")
+    for index in range(4):
+        b.movi(f"r{16 + index}", index)
+    b.addi("r1", "r1", 1)
+    b.cmp("r1", imm=1 << 40)
+    b.bne("loop")
+    return b.build()
+
+
+class TestValuePredictionBenefit:
+    def test_vp_speeds_up_predictable_chains(self):
+        program = _predictable_serial_chain()
+        base = run_simulation(small_config(value_prediction=False), program, max_uops=2500)
+        vp = run_simulation(small_config(value_prediction=True), program, max_uops=2500)
+        assert vp.ipc > base.ipc * 1.15
+        assert vp.stats.predictions_used > 0
+        assert vp.predictor_accuracy > 0.99
+
+    def test_vp_does_not_slow_down_unpredictable_code(self):
+        program = _unpredictable_serial_chain()
+        base = run_simulation(small_config(value_prediction=False), program, max_uops=2000)
+        vp = run_simulation(small_config(value_prediction=True), program, max_uops=2000)
+        assert vp.ipc > base.ipc * 0.95
+
+    def test_coverage_reported(self):
+        vp = run_simulation(
+            small_config(value_prediction=True), _predictable_serial_chain(), max_uops=2500
+        )
+        assert 0.0 < vp.predictor_coverage <= 1.0
+
+
+class TestValidationAndSquash:
+    def test_value_mispredictions_trigger_squashes_but_preserve_correctness(self):
+        program = _phase_change_loop()
+        result = run_simulation(small_config(value_prediction=True), program, max_uops=4000)
+        assert result.stats.committed_uops == 4000
+        assert result.full_stats.value_mispredictions >= 1
+        assert result.full_stats.pipeline_squashes >= result.full_stats.value_mispredictions
+        assert result.full_stats.squashed_uops > 0
+
+    def test_mispredictions_are_rare_thanks_to_fpc(self):
+        result = run_simulation(
+            small_config(value_prediction=True), _phase_change_loop(), max_uops=4000
+        )
+        used = result.full_stats.predictions_used
+        wrong = result.full_stats.value_mispredictions
+        assert used > 100
+        assert wrong / used < 0.05
+
+    def test_squash_refetches_instructions(self):
+        result = run_simulation(
+            small_config(value_prediction=True), _phase_change_loop(), max_uops=4000
+        )
+        assert result.full_stats.fetched_uops >= result.full_stats.committed_uops

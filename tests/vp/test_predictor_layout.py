@@ -1,0 +1,49 @@
+"""Table 2 reproduction: predictor layout and storage budget accounting."""
+
+from repro.vp.hybrid import default_paper_predictor
+from repro.vp.stride import TwoDeltaStridePredictor
+from repro.vp.vtage import VTAGEPredictor
+
+
+class TestTable2Layout:
+    """Checks the structural parameters reported in Table 2 of the paper."""
+
+    def test_2dstride_layout(self):
+        stride = TwoDeltaStridePredictor()
+        assert stride.entries == 8192
+        assert stride.tag_bits == 51  # "Full (51)" in Table 2
+
+    def test_2dstride_storage_band(self):
+        # Table 2 reports 251.9 KB for the 2D-Stride component (full tags, two strides).
+        kilobytes = TwoDeltaStridePredictor().storage_kilobytes()
+        assert 200 < kilobytes < 300
+
+    def test_vtage_layout(self):
+        vtage = VTAGEPredictor()
+        assert vtage.base_entries == 8192
+        assert vtage.num_components == 6
+        assert vtage.tagged_entries == 1024
+        assert vtage.tag_bits == 12  # "12 + rank" in Table 2
+
+    def test_vtage_tag_widths_grow_with_rank(self):
+        vtage = VTAGEPredictor()
+        widths = [vtage.tag_bits + rank for rank in range(vtage.num_components)]
+        assert widths == sorted(widths)
+        assert widths[0] == 12 and widths[-1] == 17
+
+    def test_vtage_storage_band(self):
+        # Table 2 reports 64.1 KB (base) + 68.6 KB (tagged) ≈ 133 KB for VTAGE.
+        kilobytes = VTAGEPredictor().storage_kilobytes()
+        assert 100 < kilobytes < 170
+
+    def test_hybrid_total_storage_band(self):
+        # Total hybrid budget in the paper is ≈ 385 KB; allow a generous band since the
+        # per-entry field widths are approximations.
+        kilobytes = default_paper_predictor().storage_kilobytes()
+        assert 300 < kilobytes < 500
+
+    def test_vtage_history_lengths_span_requested_range(self):
+        vtage = VTAGEPredictor()
+        assert vtage.history_lengths[0] == 2
+        assert vtage.history_lengths[-1] == 64
+        assert len(vtage.history_lengths) == 6

@@ -1,0 +1,91 @@
+"""Tests for the kernel generator: programs build, execute and honour their spec."""
+
+from repro.isa.emulator import Emulator, collect_trace
+from repro.isa.trace import characterize
+from repro.workloads.kernels import (
+    CHAIN_BASE,
+    CHAIN_CONSTANT_VALUE,
+    CHASE_BASE,
+    JUMP_TABLE_BASE,
+    build_program,
+    make_arch_state,
+)
+from repro.workloads.spec import WorkloadSpec
+
+
+def _build(spec):
+    program, case_labels = build_program(spec)
+    state = make_arch_state(spec, program, case_labels)
+    return program, state
+
+
+class TestGeneratedPrograms:
+    def test_minimal_spec_builds_and_runs(self):
+        spec = WorkloadSpec(name="tiny")
+        program, state = _build(spec)
+        trace = collect_trace(program, 500, state=state)
+        assert len(trace) == 500  # the outer loop is effectively infinite
+
+    def test_memory_blocks_emit_loads_and_stores(self):
+        spec = WorkloadSpec(name="memory", strided_loads=2, random_loads=1, stores=2)
+        program, state = _build(spec)
+        stats = characterize(collect_trace(program, 2000, state=state))
+        assert stats.loads > 0
+        assert stats.stores > 0
+
+    def test_branchy_spec_has_branches(self):
+        spec = WorkloadSpec(name="branchy", data_dep_branches=2, pred_branches=2)
+        program, state = _build(spec)
+        stats = characterize(collect_trace(program, 2000, state=state))
+        assert stats.branch_ratio > 0.1
+
+    def test_inner_loop_increases_dynamic_branch_count(self):
+        flat = WorkloadSpec(name="flat", inner_loop_trip=0)
+        nested = WorkloadSpec(name="nested", inner_loop_trip=4)
+        flat_stats = characterize(collect_trace(*(_build(flat)[0],), 2000))
+        nested_program, nested_state = _build(nested)
+        nested_stats = characterize(collect_trace(nested_program, 2000, state=nested_state))
+        assert nested_stats.branches > flat_stats.branches * 0.8
+
+    def test_calls_and_indirect_jumps_present_when_requested(self):
+        spec = WorkloadSpec(name="cfgy", calls=2, indirect_jump_targets=4)
+        program, state = _build(spec)
+        trace = collect_trace(program, 3000, state=state)
+        opcodes = {inst.uop.opcode.value for inst in trace}
+        assert "call" in opcodes and "ret" in opcodes and "jmpi" in opcodes
+
+    def test_chain_array_initialised_when_predictable(self):
+        spec = WorkloadSpec(name="chainy", chain_loads=2, chain_values_predictable=True)
+        _, state = _build(spec)
+        assert state.read_mem(CHAIN_BASE) == CHAIN_CONSTANT_VALUE
+
+    def test_chase_array_is_a_permutation(self):
+        spec = WorkloadSpec(name="chase", pointer_chase_loads=1, chase_footprint_words=1 << 8)
+        _, state = _build(spec)
+        words = 1 << 8
+        successors = {state.read_mem(CHASE_BASE + 8 * index) for index in range(words)}
+        assert len(successors) == words  # bijective walk
+
+    def test_jump_table_holds_valid_case_targets(self):
+        spec = WorkloadSpec(name="switchy", indirect_jump_targets=4)
+        program, case_labels = build_program(spec)
+        state = make_arch_state(spec, program, case_labels)
+        for slot in range(4):
+            target = state.read_mem(JUMP_TABLE_BASE + 8 * slot)
+            assert 0 <= target < len(program)
+
+    def test_fp_blocks_emit_fp_ops(self):
+        spec = WorkloadSpec(name="fp", fp_chains=2, fp_chain_ops=2, fp_mul_ops=1, chain_fp_ops=2)
+        program, state = _build(spec)
+        stats = characterize(collect_trace(program, 1500, state=state))
+        from repro.isa.opcode import OpClass
+
+        assert stats.class_ratio(OpClass.FP_ALU) > 0
+        assert stats.class_ratio(OpClass.FP_MUL) > 0
+
+    def test_long_runs_do_not_halt(self):
+        spec = WorkloadSpec(name="long", calls=1, indirect_jump_targets=2, inner_loop_trip=3)
+        program, state = _build(spec)
+        emulator = Emulator(program, state=state)
+        count = sum(1 for _ in emulator.run(20_000))
+        assert count == 20_000

@@ -1,0 +1,39 @@
+"""Tests for workload specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestWorkloadSpec:
+    def test_defaults_are_valid(self):
+        spec = WorkloadSpec(name="x")
+        assert spec.name == "x"
+        assert spec.category == "INT"
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="x", strided_loads=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="x", chain_alu_ops=-2)
+
+    def test_footprints_must_be_powers_of_two(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="x", strided_footprint_words=1000)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="x", chase_footprint_words=0)
+
+    def test_category_validated(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="x", category="VECTOR")
+
+    def test_specs_are_frozen(self):
+        spec = WorkloadSpec(name="x")
+        with pytest.raises(Exception):
+            spec.chain_alu_ops = 10
+
+    def test_paper_metadata_carried(self):
+        spec = WorkloadSpec(name="x", paper_benchmark="429.mcf", paper_ipc=0.105)
+        assert spec.paper_benchmark == "429.mcf"
+        assert spec.paper_ipc == 0.105

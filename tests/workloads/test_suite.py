@@ -1,0 +1,86 @@
+"""Tests for the 19-benchmark synthetic suite."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.emulator import collect_trace
+from repro.isa.trace import characterize
+from repro.workloads.suite import (
+    FAST_SUBSET,
+    SUITE_ORDER,
+    all_workloads,
+    fast_workloads,
+    workload,
+    workload_names,
+)
+
+
+class TestSuiteStructure:
+    def test_nineteen_workloads_like_table3(self):
+        assert len(SUITE_ORDER) == 19
+        assert len(all_workloads()) == 19
+
+    def test_twelve_int_and_seven_fp_like_table3(self):
+        categories = [wl.spec.category for wl in all_workloads()]
+        assert categories.count("INT") == 12
+        assert categories.count("FP") == 7
+
+    def test_every_workload_maps_to_a_paper_benchmark(self):
+        for wl in all_workloads():
+            assert wl.paper_benchmark
+            assert wl.spec.paper_ipc is not None
+
+    def test_paper_benchmarks_are_unique(self):
+        names = [wl.paper_benchmark for wl in all_workloads()]
+        assert len(set(names)) == len(names)
+
+    def test_lookup_by_name(self):
+        assert workload("mcf").name == "mcf"
+        with pytest.raises(ConfigurationError):
+            workload("doom")
+
+    def test_fast_subset_is_a_subset(self):
+        assert set(FAST_SUBSET) <= set(SUITE_ORDER)
+        assert [wl.name for wl in fast_workloads()] == list(FAST_SUBSET)
+
+    def test_workload_names_order(self):
+        assert workload_names() == list(SUITE_ORDER)
+
+    def test_programs_are_cached(self):
+        wl = workload("gcc")
+        assert wl.program is wl.program
+
+    def test_make_state_returns_fresh_states(self):
+        wl = workload("mcf")
+        assert wl.make_state() is not wl.make_state()
+
+
+class TestSuiteBehaviouralDiversity:
+    def test_all_programs_build_and_execute(self):
+        for wl in all_workloads():
+            trace = collect_trace(wl.program, 300, state=wl.make_state())
+            assert len(trace) == 300, wl.name
+
+    def test_memory_bound_workloads_chase_pointers(self):
+        stats = characterize(collect_trace(workload("mcf").program, 1500, state=workload("mcf").make_state()))
+        assert stats.memory_ratio > 0.05
+
+    def test_branchy_workloads_have_more_branches_than_streaming_ones(self):
+        def branch_ratio(name):
+            wl = workload(name)
+            return characterize(collect_trace(wl.program, 2000, state=wl.make_state())).branch_ratio
+
+        assert branch_ratio("gobmk") > branch_ratio("lbm")
+
+    def test_fp_workloads_execute_fp_operations(self):
+        from repro.isa.opcode import OpClass
+
+        wl = workload("wupwise")
+        stats = characterize(collect_trace(wl.program, 2000, state=wl.make_state()))
+        assert stats.class_ratio(OpClass.FP_ALU) > 0.03
+
+    def test_footprints_differ_between_cache_and_dram_bound_workloads(self):
+        assert (
+            workload("mcf").spec.chase_footprint_words
+            > workload("parser").spec.chase_footprint_words
+        )
