@@ -1,16 +1,23 @@
 """Shared configuration of the benchmark harness.
 
 Each benchmark file regenerates one table or figure of the paper (see DESIGN.md §4) and
-records the produced table under ``benchmarks/results/``.  Two environment variables
+records the produced table under ``benchmarks/results/``.  Environment variables
 control the cost/fidelity trade-off:
 
 * ``REPRO_BENCH_WORKLOADS`` — ``subset`` (default, 8 representative workloads) or
   ``all`` (the full 19-benchmark suite, several times slower);
 * ``REPRO_SIM_UOPS`` / ``REPRO_SIM_WARMUP`` — committed-µ-op budget per simulation
-  (benchmark default: 5000 / 1500).
+  (benchmark default: 8000 / 2500; the library's :mod:`repro.analysis.runner`
+  defaults to 12000 / 3000 when these variables are unset);
+* ``REPRO_RESULT_STORE`` — opt-in persistent result store (a JSON-lines file):
+  when set, every simulation lands on disk and repeated benchmark sessions skip
+  already-simulated cells entirely (see docs/campaign.md);
+* ``REPRO_CAMPAIGN_WORKERS`` — shard each figure's grid across that many worker
+  processes (default 1, serial).
 
-Simulation results are cached across benchmark files within one pytest session (the
-configurations are shared between figures), so the first file pays most of the cost.
+Within one pytest session, simulation results are additionally cached in memory across
+benchmark files (the configurations are shared between figures), so the first file
+pays most of the cost.
 """
 
 from __future__ import annotations
@@ -21,11 +28,13 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.report import ExperimentResult, format_table
+from repro.campaign.spec import BENCH_SUBSET
+from repro.campaign.store import default_store
 from repro.workloads.suite import all_workloads, workload
 
 #: Representative subset: strong-VP, EE-friendly, IQ-hungry, offload-heavy, low-coverage
-#: and memory-bound behaviours are all present.
-SUBSET_NAMES = ("wupwise", "applu", "bzip2", "crafty", "hmmer", "namd", "gcc", "milc")
+#: and memory-bound behaviours are all present (defined with the campaign's named sets).
+SUBSET_NAMES = BENCH_SUBSET
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -50,6 +59,27 @@ def bench_workloads():
 def bench_lengths():
     """(max_uops, warmup_uops) for every simulation run."""
     return bench_max_uops(), bench_warmup_uops()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def persistent_result_store():
+    """Report the opt-in persistent store (``REPRO_RESULT_STORE``) around the session.
+
+    The experiment runner consults the store automatically on every simulation, so
+    this fixture only has to surface what happened: how many cells were already on
+    disk when the session started and how many it contributed.
+    """
+    store = default_store()
+    if store is None:
+        yield None
+        return
+    before = len(store)
+    print(f"\n[repro] persistent result store: {store.path} ({before} cells on entry)")
+    yield store
+    print(
+        f"\n[repro] persistent result store: {store.path} "
+        f"({len(store)} cells on exit, +{len(store) - before} this session)"
+    )
 
 
 def record_result(result: ExperimentResult) -> str:

@@ -1,5 +1,25 @@
-"""Setuptools entry point (kept for offline/legacy editable installs)."""
+"""Setuptools entry point.
 
-from setuptools import setup
+``pip install -e .`` makes the ``repro`` package importable without ``PYTHONPATH=src``
+and installs the ``repro-campaign`` console script (the same CLI as
+``python -m repro.campaign``).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-eole",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'EOLE: Paving the Way for an Effective Implementation of "
+        "Value Prediction' (Perais & Seznec, ISCA 2014)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-campaign = repro.campaign.cli:main",
+        ]
+    },
+)

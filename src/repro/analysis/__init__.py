@@ -7,7 +7,9 @@ from repro.analysis.report import ExperimentResult, ExperimentSeries, format_tab
 from repro.analysis.runner import (
     ResultCache,
     default_max_uops,
+    default_suite_workers,
     default_warmup_uops,
+    run_grid,
     run_suite,
     run_workload,
     shared_cache,
@@ -22,11 +24,13 @@ __all__ = [
     "ResultCache",
     "arithmetic_mean",
     "default_max_uops",
+    "default_suite_workers",
     "default_warmup_uops",
     "evaluate_predictor",
     "format_table",
     "geometric_mean",
     "relative_change",
+    "run_grid",
     "run_suite",
     "run_workload",
     "shared_cache",

@@ -4,6 +4,13 @@ Each public function regenerates one artefact of the paper's evaluation (Section
 Section 6) over the synthetic workload suite and returns an
 :class:`~repro.analysis.report.ExperimentResult` that the benchmark harness prints and
 EXPERIMENTS.md records.  The experiment ids match DESIGN.md §4.
+
+Every figure is a (configuration × workload) grid, so each function submits its whole
+grid — baseline and variants together — to the campaign engine via
+:func:`~repro.analysis.runner.run_grid` in one shot.  With
+``REPRO_CAMPAIGN_WORKERS > 1`` the cells shard across worker processes, and with
+``REPRO_RESULT_STORE`` set, previously simulated cells are reloaded from disk instead
+of re-simulated.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.analysis.report import ExperimentResult, ExperimentSeries
-from repro.analysis.runner import ResultCache, run_suite, shared_cache
+from repro.analysis.runner import ResultCache, run_grid, shared_cache
 from repro.core.eole import EOLEVariant, eole_config
 from repro.pipeline.config import (
     PipelineConfig,
@@ -26,6 +33,7 @@ from repro.pipeline.config import (
     eole_6_64,
     ole_4_64,
 )
+from repro.pipeline.stats import SimulationResult
 from repro.vp.confidence import DETERMINISTIC_3BIT_VECTOR, PAPER_FPC_VECTOR
 from repro.vp.hybrid import VTAGE2DStrideHybrid
 from repro.vp.stride import TwoDeltaStridePredictor
@@ -40,20 +48,34 @@ def _suite(workloads: Iterable[Workload] | None) -> list[Workload]:
 
 def _speedup_series(
     label: str,
-    config: PipelineConfig,
-    baseline_results: dict,
-    workloads: list[Workload],
-    max_uops: int | None,
-    warmup_uops: int | None,
-    cache: ResultCache | None,
+    results: dict[str, SimulationResult],
+    baseline_results: dict[str, SimulationResult],
 ) -> ExperimentSeries:
-    results = run_suite(config, workloads, max_uops, warmup_uops, cache)
     values = {
         name: results[name].ipc / baseline_results[name].ipc
         for name in results
         if baseline_results[name].ipc > 0
     }
     return ExperimentSeries(label=label, values=values)
+
+
+def _comparison_figure(
+    result: ExperimentResult,
+    baseline_config: PipelineConfig,
+    labelled_configs: tuple[tuple[str, PipelineConfig], ...],
+    workloads: Iterable[Workload] | None,
+    max_uops: int | None,
+    warmup_uops: int | None,
+    cache: ResultCache | None,
+) -> ExperimentResult:
+    """Run one grid (baseline + variants) and append one speedup series per variant."""
+    selected = _suite(workloads)
+    configs = [baseline_config] + [config for _, config in labelled_configs]
+    grid = run_grid(configs, selected, max_uops, warmup_uops, cache)
+    baseline = grid[baseline_config.name]
+    for label, config in labelled_configs:
+        result.series.append(_speedup_series(label, grid[config.name], baseline))
+    return result
 
 
 # --------------------------------------------------------------------------- Figure 2
@@ -72,12 +94,16 @@ def fig2_early_execution_share(
         value_kind="ratio",
         notes="Paper: single ALU stage captures nearly all of the benefit (Fig. 2).",
     )
-    for depth in depths:
-        config = eole_6_64().derive(
+    configs = [
+        eole_6_64().derive(
             name=f"EOLE_6_64_ee{depth}",
             eole=eole_config(variant=EOLEVariant.EOLE, ee_depth=depth),
         )
-        runs = run_suite(config, selected, max_uops, warmup_uops, cache)
+        for depth in depths
+    ]
+    grid = run_grid(configs, selected, max_uops, warmup_uops, cache)
+    for depth, config in zip(depths, configs):
+        runs = grid[config.name]
         result.series.append(
             ExperimentSeries(
                 label=f"{depth} ALU stage{'s' if depth > 1 else ''}",
@@ -96,7 +122,8 @@ def fig4_late_execution_share(
 ) -> ExperimentResult:
     """Fig. 4: fraction of committed µ-ops late-executed (disjoint from Fig. 2)."""
     selected = _suite(workloads)
-    runs = run_suite(eole_6_64(), selected, max_uops, warmup_uops, cache)
+    config = eole_6_64()
+    runs = run_grid([config], selected, max_uops, warmup_uops, cache)[config.name]
     result = ExperimentResult(
         experiment_id="fig4_late_exec_share",
         title="Proportion of committed µ-ops that can be late-executed",
@@ -143,7 +170,8 @@ def table3_baseline_ipc(
 ) -> ExperimentResult:
     """Table 3: per-benchmark IPC of the 6-issue, 64-entry-IQ baseline (no VP)."""
     selected = _suite(workloads)
-    runs = run_suite(baseline_6_64(), selected, max_uops, warmup_uops, cache)
+    config = baseline_6_64()
+    runs = run_grid([config], selected, max_uops, warmup_uops, cache)[config.name]
     result = ExperimentResult(
         experiment_id="table3_baseline_ipc",
         title="Baseline_6_64 IPC per workload",
@@ -173,8 +201,6 @@ def fig6_vp_speedup(
     cache: ResultCache | None = shared_cache,
 ) -> ExperimentResult:
     """Fig. 6: speedup of Baseline_VP_6_64 (VTAGE-2DStride) over Baseline_6_64."""
-    selected = _suite(workloads)
-    baseline = run_suite(baseline_6_64(), selected, max_uops, warmup_uops, cache)
     result = ExperimentResult(
         experiment_id="fig6_vp_speedup",
         title="Speedup brought by Value Prediction (VTAGE-2DStride)",
@@ -182,12 +208,15 @@ def fig6_vp_speedup(
         value_kind="speedup",
         notes="Paper: speedups up to ~1.4x on the most predictable codes, no slowdowns.",
     )
-    result.series.append(
-        _speedup_series(
-            "VTAGE-2D-Str", baseline_vp_6_64(), baseline, selected, max_uops, warmup_uops, cache
-        )
+    return _comparison_figure(
+        result,
+        baseline_6_64(),
+        (("VTAGE-2D-Str", baseline_vp_6_64()),),
+        workloads,
+        max_uops,
+        warmup_uops,
+        cache,
     )
-    return result
 
 
 # --------------------------------------------------------------------------- Figure 7
@@ -198,8 +227,6 @@ def fig7_issue_width(
     cache: ResultCache | None = shared_cache,
 ) -> ExperimentResult:
     """Fig. 7: issue-width impact on EOLE vs the VP baseline (normalised to VP_6_64)."""
-    selected = _suite(workloads)
-    baseline = run_suite(baseline_vp_6_64(), selected, max_uops, warmup_uops, cache)
     result = ExperimentResult(
         experiment_id="fig7_issue_width",
         title="Performance vs issue width",
@@ -207,15 +234,19 @@ def fig7_issue_width(
         value_kind="speedup",
         notes="Paper: EOLE_4_64 stays on par with Baseline_VP_6_64; Baseline_VP_4_64 loses up to ~12%.",
     )
-    for label, config in (
-        ("Baseline_VP_4_64", baseline_vp_4_64()),
-        ("EOLE_4_64", eole_4_64()),
-        ("EOLE_6_64", eole_6_64()),
-    ):
-        result.series.append(
-            _speedup_series(label, config, baseline, selected, max_uops, warmup_uops, cache)
-        )
-    return result
+    return _comparison_figure(
+        result,
+        baseline_vp_6_64(),
+        (
+            ("Baseline_VP_4_64", baseline_vp_4_64()),
+            ("EOLE_4_64", eole_4_64()),
+            ("EOLE_6_64", eole_6_64()),
+        ),
+        workloads,
+        max_uops,
+        warmup_uops,
+        cache,
+    )
 
 
 # --------------------------------------------------------------------------- Figure 8
@@ -226,8 +257,6 @@ def fig8_iq_size(
     cache: ResultCache | None = shared_cache,
 ) -> ExperimentResult:
     """Fig. 8: IQ-size impact on EOLE vs the VP baseline (normalised to VP_6_64)."""
-    selected = _suite(workloads)
-    baseline = run_suite(baseline_vp_6_64(), selected, max_uops, warmup_uops, cache)
     result = ExperimentResult(
         experiment_id="fig8_iq_size",
         title="Performance vs instruction queue size",
@@ -235,15 +264,19 @@ def fig8_iq_size(
         value_kind="speedup",
         notes="Paper: EOLE mitigates the loss of shrinking the IQ from 64 to 48 entries.",
     )
-    for label, config in (
-        ("Baseline_VP_6_48", baseline_vp_6_48()),
-        ("EOLE_6_48", eole_6_48()),
-        ("EOLE_6_64", eole_6_64()),
-    ):
-        result.series.append(
-            _speedup_series(label, config, baseline, selected, max_uops, warmup_uops, cache)
-        )
-    return result
+    return _comparison_figure(
+        result,
+        baseline_vp_6_64(),
+        (
+            ("Baseline_VP_6_48", baseline_vp_6_48()),
+            ("EOLE_6_48", eole_6_48()),
+            ("EOLE_6_64", eole_6_64()),
+        ),
+        workloads,
+        max_uops,
+        warmup_uops,
+        cache,
+    )
 
 
 # --------------------------------------------------------------------------- Figure 10
@@ -255,8 +288,6 @@ def fig10_prf_banks(
     bank_counts: tuple[int, ...] = (2, 4, 8),
 ) -> ExperimentResult:
     """Fig. 10: EOLE_4_64 with a banked PRF, normalised to the single-bank EOLE_4_64."""
-    selected = _suite(workloads)
-    baseline = run_suite(eole_4_64(), selected, max_uops, warmup_uops, cache)
     result = ExperimentResult(
         experiment_id="fig10_prf_banks",
         title="Impact of PRF banking on EOLE_4_64",
@@ -264,16 +295,18 @@ def fig10_prf_banks(
         value_kind="speedup",
         notes="Paper: 4 banks of 64 registers is a reasonable tradeoff (losses are marginal).",
     )
-    for banks in bank_counts:
-        config = eole_4_64_banked(
-            banks=banks, levt_ports_per_bank=None, ee_write_ports_per_bank=None
-        ).derive(name=f"EOLE_4_64_{banks}banks")
-        result.series.append(
-            _speedup_series(
-                f"{banks} banks", config, baseline, selected, max_uops, warmup_uops, cache
-            )
+    labelled = tuple(
+        (
+            f"{banks} banks",
+            eole_4_64_banked(
+                banks=banks, levt_ports_per_bank=None, ee_write_ports_per_bank=None
+            ).derive(name=f"EOLE_4_64_{banks}banks"),
         )
-    return result
+        for banks in bank_counts
+    )
+    return _comparison_figure(
+        result, eole_4_64(), labelled, workloads, max_uops, warmup_uops, cache
+    )
 
 
 # --------------------------------------------------------------------------- Figure 11
@@ -285,8 +318,6 @@ def fig11_levt_ports(
     port_counts: tuple[int, ...] = (2, 3, 4),
 ) -> ExperimentResult:
     """Fig. 11: limiting LE/VT read ports per bank on a 4-banked EOLE_4_64."""
-    selected = _suite(workloads)
-    baseline = run_suite(eole_4_64(), selected, max_uops, warmup_uops, cache)
     result = ExperimentResult(
         experiment_id="fig11_levt_ports",
         title="Impact of limited LE/VT read ports (4-bank PRF)",
@@ -294,16 +325,18 @@ def fig11_levt_ports(
         value_kind="speedup",
         notes="Paper: 2 ports per bank are not enough; 4 ports per bank are near-neutral.",
     )
-    for ports in port_counts:
-        config = eole_4_64_banked(banks=4, levt_ports_per_bank=ports).derive(
-            name=f"EOLE_4_64_{ports}P_4B"
+    labelled = tuple(
+        (
+            f"{ports}P/4B",
+            eole_4_64_banked(banks=4, levt_ports_per_bank=ports).derive(
+                name=f"EOLE_4_64_{ports}P_4B"
+            ),
         )
-        result.series.append(
-            _speedup_series(
-                f"{ports}P/4B", config, baseline, selected, max_uops, warmup_uops, cache
-            )
-        )
-    return result
+        for ports in port_counts
+    )
+    return _comparison_figure(
+        result, eole_4_64(), labelled, workloads, max_uops, warmup_uops, cache
+    )
 
 
 # --------------------------------------------------------------------------- Figure 12
@@ -314,8 +347,6 @@ def fig12_overall(
     cache: ResultCache | None = shared_cache,
 ) -> ExperimentResult:
     """Fig. 12: the realistic EOLE design point vs the VP baseline and the no-VP baseline."""
-    selected = _suite(workloads)
-    baseline = run_suite(baseline_vp_6_64(), selected, max_uops, warmup_uops, cache)
     result = ExperimentResult(
         experiment_id="fig12_overall",
         title="Overall comparison (normalised to Baseline_VP_6_64)",
@@ -323,15 +354,19 @@ def fig12_overall(
         value_kind="speedup",
         notes="Paper: EOLE_4_64 with 4 banks / 4 LE-VT ports retains the VP speedup over Baseline_6_64.",
     )
-    for label, config in (
-        ("Baseline_6_64", baseline_6_64()),
-        ("EOLE_4_64", eole_4_64()),
-        ("EOLE_4_64_4ports_4banks", eole_4_64_banked(banks=4, levt_ports_per_bank=4)),
-    ):
-        result.series.append(
-            _speedup_series(label, config, baseline, selected, max_uops, warmup_uops, cache)
-        )
-    return result
+    return _comparison_figure(
+        result,
+        baseline_vp_6_64(),
+        (
+            ("Baseline_6_64", baseline_6_64()),
+            ("EOLE_4_64", eole_4_64()),
+            ("EOLE_4_64_4ports_4banks", eole_4_64_banked(banks=4, levt_ports_per_bank=4)),
+        ),
+        workloads,
+        max_uops,
+        warmup_uops,
+        cache,
+    )
 
 
 # --------------------------------------------------------------------------- Figure 13
@@ -342,8 +377,6 @@ def fig13_variants(
     cache: ResultCache | None = shared_cache,
 ) -> ExperimentResult:
     """Fig. 13: EOLE vs OLE (Late only) vs EOE (Early only), all 4-issue, banked PRF."""
-    selected = _suite(workloads)
-    baseline = run_suite(baseline_vp_6_64(), selected, max_uops, warmup_uops, cache)
     result = ExperimentResult(
         experiment_id="fig13_variants",
         title="Modularity of EOLE: Early-only and Late-only variants",
@@ -352,15 +385,19 @@ def fig13_variants(
         notes="Paper: removing Late Execution hurts more than removing Early Execution; "
         "all variants stay within ~5% of the 6-issue VP baseline.",
     )
-    for label, config in (
-        ("EOLE_4_64_4ports_4banks", eole_4_64_banked(banks=4, levt_ports_per_bank=4)),
-        ("OLE_4_64_4ports_4banks", ole_4_64(banked=True)),
-        ("EOE_4_64_4ports_4banks", eoe_4_64(banked=True)),
-    ):
-        result.series.append(
-            _speedup_series(label, config, baseline, selected, max_uops, warmup_uops, cache)
-        )
-    return result
+    return _comparison_figure(
+        result,
+        baseline_vp_6_64(),
+        (
+            ("EOLE_4_64_4ports_4banks", eole_4_64_banked(banks=4, levt_ports_per_bank=4)),
+            ("OLE_4_64_4ports_4banks", ole_4_64(banked=True)),
+            ("EOE_4_64_4ports_4banks", eoe_4_64(banked=True)),
+        ),
+        workloads,
+        max_uops,
+        warmup_uops,
+        cache,
+    )
 
 
 # --------------------------------------------------------------------------- ablations

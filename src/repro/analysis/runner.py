@@ -2,9 +2,16 @@
 
 Every figure of the paper compares several machine configurations over the same
 workload suite, and several figures share configurations (``Baseline_VP_6_64`` is the
-normalisation baseline of Figs. 7, 8, 12 and 13).  The module-level
-:class:`ResultCache` avoids re-simulating identical (configuration, workload, length)
-triples within one process, which keeps the full benchmark harness affordable.
+normalisation baseline of Figs. 7, 8, 12 and 13).  Grid execution is routed through
+the campaign engine (:mod:`repro.campaign`), which layers three reuse levels under a
+single primitive:
+
+1. the module-level :class:`ResultCache` memoises (configuration, workload, length)
+   triples within one process, keeping the full benchmark harness affordable;
+2. the opt-in persistent :class:`~repro.campaign.store.ResultStore` (env
+   ``REPRO_RESULT_STORE``) carries results across processes and sessions;
+3. anything left is simulated — serially by default, or sharded across worker
+   processes when ``REPRO_CAMPAIGN_WORKERS`` (or an explicit ``workers=``) says so.
 
 Run lengths default to a scaled-down region of interest (the paper uses 50M warm-up +
 100M instructions; see DESIGN.md §5 for why a few thousand µ-ops of these steady-state
@@ -16,12 +23,13 @@ from __future__ import annotations
 
 import os
 from collections.abc import Iterable
-from dataclasses import dataclass
 
+from repro.campaign.executor import run_campaign, simulate_cell
+from repro.campaign.spec import Campaign, CampaignCell
+from repro.campaign.store import ResultStore, default_store
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.simulator import Simulator
 from repro.pipeline.stats import SimulationResult
-from repro.workloads.suite import Workload, all_workloads
+from repro.workloads.suite import SUITE_ORDER, Workload, all_workloads, workload
 
 
 def default_max_uops() -> int:
@@ -34,24 +42,32 @@ def default_warmup_uops() -> int:
     return int(os.environ.get("REPRO_SIM_WARMUP", "3000"))
 
 
-@dataclass(frozen=True)
-class _CacheKey:
-    config_name: str
-    workload_name: str
-    max_uops: int
-    warmup_uops: int
+def default_suite_workers() -> int:
+    """Workers for library-level grid runs (env ``REPRO_CAMPAIGN_WORKERS``, default 1).
+
+    Unlike the campaign CLI (which defaults to every core), the library layers stay
+    serial unless explicitly told otherwise, so unit tests and small interactive runs
+    never pay process-pool start-up costs.
+    """
+    return max(1, int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "1")))
 
 
 class ResultCache:
-    """In-process memoisation of simulation results."""
+    """In-process memoisation of simulation results.
+
+    Keys are :attr:`~repro.campaign.spec.CampaignCell.key` tuples
+    ``(config_name, workload_name, max_uops, warmup_uops, predictor_seed)``, which
+    makes the cache directly pluggable into
+    :func:`repro.campaign.executor.run_campaign`.
+    """
 
     def __init__(self) -> None:
-        self._results: dict[_CacheKey, SimulationResult] = {}
+        self._results: dict[tuple, SimulationResult] = {}
 
-    def get(self, key: _CacheKey) -> SimulationResult | None:
+    def get(self, key: tuple) -> SimulationResult | None:
         return self._results.get(key)
 
-    def put(self, key: _CacheKey, result: SimulationResult) -> None:
+    def put(self, key: tuple, result: SimulationResult) -> None:
         self._results[key] = result
 
     def clear(self) -> None:
@@ -71,27 +87,89 @@ def run_workload(
     max_uops: int | None = None,
     warmup_uops: int | None = None,
     cache: ResultCache | None = shared_cache,
+    store: ResultStore | None = None,
 ) -> SimulationResult:
-    """Simulate ``workload`` on ``config`` (cached by configuration name and lengths)."""
+    """Simulate ``workload`` on ``config`` (cached by configuration name and lengths).
+
+    Reuse order is cache → store → simulate; ``store=None`` falls back to the
+    ``REPRO_RESULT_STORE`` default store when that variable is set.
+    """
     max_uops = max_uops if max_uops is not None else default_max_uops()
     warmup_uops = warmup_uops if warmup_uops is not None else default_warmup_uops()
-    key = _CacheKey(config.name, workload.name, max_uops, warmup_uops)
+    cell = CampaignCell(
+        config=config, workload_name=workload.name, max_uops=max_uops, warmup_uops=warmup_uops
+    )
     if cache is not None:
-        cached = cache.get(key)
+        cached = cache.get(cell.key)
         if cached is not None:
             return cached
-    simulator = Simulator(
-        config,
-        workload.program,
-        max_uops=max_uops,
-        warmup_uops=warmup_uops,
-        arch_state=workload.make_state(),
-        workload_name=workload.name,
-    )
-    result = simulator.run()
+    store = store if store is not None else default_store()
+    if store is not None:
+        stored = store.get(cell.fingerprint)
+        if stored is not None:
+            if cache is not None:
+                cache.put(cell.key, stored)
+            return stored
+    result = simulate_cell(cell, workload)
+    if store is not None:
+        store.put(cell, result)
     if cache is not None:
-        cache.put(key, result)
+        cache.put(cell.key, result)
     return result
+
+
+def run_grid(
+    configs: Iterable[PipelineConfig],
+    workloads: Iterable[Workload] | None = None,
+    max_uops: int | None = None,
+    warmup_uops: int | None = None,
+    cache: ResultCache | None = shared_cache,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    progress: bool = False,
+) -> dict[str, dict[str, SimulationResult]]:
+    """Simulate every (config, workload) pair; returns config name → workload → result.
+
+    The whole grid is submitted to the campaign engine at once, so with ``workers > 1``
+    the cells of *different* configurations shard across the pool together — the unit
+    of parallelism is the cell, not the configuration row.
+    """
+    configs = list(configs)
+    selected = list(workloads) if workloads is not None else all_workloads()
+    max_uops = max_uops if max_uops is not None else default_max_uops()
+    warmup_uops = warmup_uops if warmup_uops is not None else default_warmup_uops()
+    workers = workers if workers is not None else default_suite_workers()
+
+    # The campaign engine routes cells by workload *name* (they must survive a pickle
+    # boundary), so it may only be used when every workload is the registry's own
+    # instance — an ad-hoc Workload that merely shares a suite name must not be
+    # silently replaced by the registry version.
+    registry_members = [
+        wl for wl in selected if wl.name in SUITE_ORDER and workload(wl.name) is wl
+    ]
+    if len(registry_members) == len(selected) and len(
+        {wl.name for wl in selected}
+    ) == len(selected):
+        campaign = Campaign(
+            name="grid",
+            configs=tuple(configs),
+            workload_names=tuple(wl.name for wl in selected),
+            max_uops=max_uops,
+            warmup_uops=warmup_uops,
+        )
+        outcome = run_campaign(
+            campaign, store=store, workers=workers, cache=cache, progress=progress
+        )
+        return outcome.by_config()
+    # Ad-hoc workload objects outside the registered suite cannot cross a process
+    # boundary by name — simulate them serially through the single-cell primitive.
+    return {
+        config.name: {
+            wl.name: run_workload(config, wl, max_uops, warmup_uops, cache, store)
+            for wl in selected
+        }
+        for config in configs
+    }
 
 
 def run_suite(
@@ -100,13 +178,14 @@ def run_suite(
     max_uops: int | None = None,
     warmup_uops: int | None = None,
     cache: ResultCache | None = shared_cache,
+    store: ResultStore | None = None,
+    workers: int | None = None,
 ) -> dict[str, SimulationResult]:
     """Simulate every workload on ``config``; returns results keyed by workload name."""
-    selected = list(workloads) if workloads is not None else all_workloads()
-    return {
-        workload.name: run_workload(config, workload, max_uops, warmup_uops, cache)
-        for workload in selected
-    }
+    grid = run_grid(
+        [config], workloads, max_uops, warmup_uops, cache, store, workers
+    )
+    return grid[config.name]
 
 
 def suite_ipcs(results: dict[str, SimulationResult]) -> dict[str, float]:

@@ -1,0 +1,8 @@
+"""``python -m repro.campaign`` dispatches to the campaign CLI."""
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Command-line front-end: ``python -m repro.campaign`` (or ``repro-campaign``).
+
+Three subcommands::
+
+    run     simulate a (configs × workloads) grid, persisting results to a store
+    status  report done/missing cells for a grid against a store (no simulation)
+    report  tabulate stored results (IPC by default, speedups with --baseline)
+
+Examples::
+
+    python -m repro.campaign run --configs Baseline_6_64,EOLE_4_64 \\
+        --workloads subset --store results/campaign.jsonl --workers 4
+    python -m repro.campaign status --store results/campaign.jsonl \\
+        --configs Baseline_6_64,EOLE_4_64 --workloads subset
+    python -m repro.campaign report --store results/campaign.jsonl \\
+        --baseline Baseline_6_64
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.campaign.executor import campaign_status, default_workers, run_campaign
+from repro.campaign.spec import WORKLOAD_SETS, Campaign
+from repro.campaign.store import STORE_ENV_VAR, ResultStore
+from repro.errors import ReproError
+from repro.pipeline.config import NAMED_CONFIGS
+from repro.pipeline.stats import SimStats
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--configs",
+        required=True,
+        help=f"comma-separated named configurations (known: {', '.join(NAMED_CONFIGS)})",
+    )
+    parser.add_argument(
+        "--workloads",
+        default="all",
+        help=f"named set ({', '.join(WORKLOAD_SETS)}) or comma-separated workload names",
+    )
+    parser.add_argument(
+        "--max-uops",
+        type=int,
+        default=int(os.environ.get("REPRO_SIM_UOPS", "12000")),
+        help="committed-µ-op budget per cell (default: env REPRO_SIM_UOPS or 12000)",
+    )
+    parser.add_argument(
+        "--warmup-uops",
+        type=int,
+        default=int(os.environ.get("REPRO_SIM_WARMUP", "3000")),
+        help="warm-up µ-ops per cell (default: env REPRO_SIM_WARMUP or 3000)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="campaign seed for per-cell predictor seeds (default: configs' own seeds)",
+    )
+
+
+def _add_store_argument(parser: argparse.ArgumentParser, required: bool) -> None:
+    parser.add_argument(
+        "--store",
+        default=os.environ.get(STORE_ENV_VAR),
+        required=required and not os.environ.get(STORE_ENV_VAR),
+        help=f"result-store path (default: env {STORE_ENV_VAR})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Parallel simulation campaigns with a persistent result store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="simulate a configs × workloads grid")
+    _add_grid_arguments(run_parser)
+    _add_store_argument(run_parser, required=False)
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=f"worker processes (default: env {'REPRO_CAMPAIGN_WORKERS'} or all cores, "
+        f"currently {default_workers()})",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    status_parser = commands.add_parser("status", help="done/missing cells for a grid")
+    _add_grid_arguments(status_parser)
+    _add_store_argument(status_parser, required=True)
+
+    report_parser = commands.add_parser("report", help="tabulate stored results")
+    _add_store_argument(report_parser, required=True)
+    report_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="config name to normalise against (reports speedups instead of IPCs)",
+    )
+    return parser
+
+
+def _campaign_from_args(args: argparse.Namespace) -> Campaign:
+    return Campaign.from_names(
+        config_names=args.configs,
+        workload_selector=args.workloads,
+        max_uops=args.max_uops,
+        warmup_uops=args.warmup_uops,
+        seed=args.seed,
+    )
+
+
+# ---------------------------------------------------------------------- subcommands
+def _cmd_run(args: argparse.Namespace) -> int:
+    campaign = _campaign_from_args(args)
+    store = ResultStore(args.store) if args.store else None
+    outcome = run_campaign(
+        campaign, store=store, workers=args.workers, progress=not args.quiet
+    )
+    grid = outcome.by_config()
+    workload_names = campaign.workload_names
+    label_width = max(len(name) for name in workload_names) + 2
+    print(f"campaign: {len(campaign.configs)} configs × {len(workload_names)} workloads")
+    for config in campaign.configs:
+        print(f"\n{config.name}")
+        for name in workload_names:
+            print(f"  {name.ljust(label_width)} IPC={grid[config.name][name].ipc:.3f}")
+    print(
+        f"\n{outcome.simulated} simulated, {outcome.from_store} from store, "
+        f"{outcome.from_cache} from cache, {outcome.elapsed_seconds:.1f}s elapsed"
+        + (f", store: {store.path}" if store is not None else ", no store (transient)")
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    campaign = _campaign_from_args(args)
+    store = ResultStore(args.store)
+    status = campaign_status(campaign, store)
+    print(
+        f"store {store.path}: {len(store)} records "
+        f"({store.skipped_lines} corrupt lines skipped)"
+    )
+    print(f"grid: {status['done']}/{status['total']} cells done, {status['missing']} missing")
+    for cell_id in status["missing_cells"]:
+        print(f"  missing {cell_id}")
+    return 0 if status["missing"] == 0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = store.records()
+    if not records:
+        print(f"store {store.path} is empty")
+        return 1
+    ipcs: dict[str, dict[str, float]] = {}
+    workload_names: dict[str, None] = {}
+    for record in records:
+        stats = SimStats.from_dict(record["result"]["stats"])
+        ipcs.setdefault(record["config"], {})[record["workload"]] = stats.ipc
+        workload_names.setdefault(record["workload"])
+    baseline = args.baseline
+    if baseline is not None and baseline not in ipcs:
+        print(f"baseline config {baseline!r} not in store (has: {sorted(ipcs)})")
+        return 1
+    configs = sorted(ipcs)
+    names = list(workload_names)
+    label_width = max([len("workload")] + [len(n) for n in names]) + 2
+    column_width = max([10] + [len(c) + 2 for c in configs])
+    kind = f"speedup over {baseline}" if baseline else "IPC"
+    print(f"store {store.path}: {kind}")
+    print("workload".ljust(label_width) + "".join(c.rjust(column_width) for c in configs))
+    for name in names:
+        row = name.ljust(label_width)
+        for config in configs:
+            value = ipcs[config].get(name)
+            if value is not None and baseline:
+                base = ipcs[baseline].get(name)
+                value = value / base if base else None
+            row += (f"{value:.3f}" if value is not None else "—").rjust(column_width)
+        print(row)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"run": _cmd_run, "status": _cmd_status, "report": _cmd_report}
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""The campaign executor: shard a cell grid across worker processes, checkpointing.
+
+The execution order per cell is cache → store → simulate:
+
+1. an in-memory cache hit (same process, e.g. a previous figure sharing the baseline)
+   is free;
+2. a persistent-store hit (a previous campaign/process/session) costs one dict →
+   :class:`SimulationResult` conversion;
+3. everything else is simulated — inline when ``workers <= 1``, otherwise sharded
+   across a :class:`~concurrent.futures.ProcessPoolExecutor` of at most
+   ``os.cpu_count()`` workers (env ``REPRO_CAMPAIGN_WORKERS`` overrides).
+
+Every finished simulation is appended to the store *immediately*, so an interrupted
+campaign is resumable: re-running it skips straight to the missing cells (step 2).
+Determinism is unaffected by sharding because each cell is self-contained — the
+simulator derives all randomness from the configuration's ``predictor_seed`` (or the
+campaign-derived per-cell seed, see :class:`~repro.campaign.spec.Campaign`), never
+from scheduling order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import Campaign, CampaignCell
+from repro.campaign.store import ResultStore, default_store
+from repro.pipeline.simulator import Simulator
+from repro.pipeline.stats import SimulationResult
+from repro.workloads.suite import Workload, workload
+
+#: Environment variable overriding the worker-process count.
+WORKERS_ENV_VAR = "REPRO_CAMPAIGN_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker processes for campaign runs (env ``REPRO_CAMPAIGN_WORKERS``, else all cores)."""
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def simulate_cell(cell: CampaignCell, wl: Workload | None = None) -> SimulationResult:
+    """Simulate one cell (the single primitive shared by every execution path).
+
+    ``wl`` short-circuits the suite lookup when the caller already holds the workload
+    object (the serial :func:`repro.analysis.runner.run_workload` path); worker
+    processes pass only the cell and re-derive the workload from its name.
+    """
+    wl = wl if wl is not None else workload(cell.workload_name)
+    simulator = Simulator(
+        cell.config,
+        wl.program,
+        max_uops=cell.max_uops,
+        warmup_uops=cell.warmup_uops,
+        arch_state=wl.make_state(),
+        workload_name=wl.name,
+    )
+    return simulator.run()
+
+
+def _pool_worker(cell: CampaignCell) -> tuple[str, dict, float]:
+    """Process-pool entry point: returns (fingerprint, result dict, seconds)."""
+    started = time.monotonic()
+    result = simulate_cell(cell)
+    return cell.fingerprint, result.to_dict(), time.monotonic() - started
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything :func:`run_campaign` learned: results plus provenance counters."""
+
+    campaign: Campaign
+    #: (config_name, workload_name) → result, covering every cell of the grid.
+    results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+    simulated: int = 0
+    from_store: int = 0
+    from_cache: int = 0
+    elapsed_seconds: float = 0.0
+
+    def by_config(self) -> dict[str, dict[str, SimulationResult]]:
+        """Results regrouped as config name → workload name → result."""
+        grid: dict[str, dict[str, SimulationResult]] = {}
+        for (config_name, workload_name), result in self.results.items():
+            grid.setdefault(config_name, {})[workload_name] = result
+        return grid
+
+    def ipcs(self) -> dict[tuple[str, str], float]:
+        """Per-cell IPC map (the paper's primary metric)."""
+        return {key: result.ipc for key, result in self.results.items()}
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: ResultStore | None = None,
+    workers: int | None = None,
+    cache=None,
+    progress: bool = False,
+) -> CampaignOutcome:
+    """Execute ``campaign``, reusing cached/stored cells and persisting new ones.
+
+    ``cache`` is any object with ``get(key)``/``put(key, result)`` over
+    :attr:`CampaignCell.key` tuples (e.g. :class:`repro.analysis.runner.ResultCache`);
+    ``store=None`` falls back to the ``REPRO_RESULT_STORE`` default store when set.
+    """
+    started = time.monotonic()
+    cells = campaign.cells()
+    if store is None:
+        store = default_store()
+    workers = workers if workers is not None else default_workers()
+    reporter = ProgressReporter(
+        total=len(cells), enabled=progress, label=campaign.name, workers=workers
+    )
+    outcome = CampaignOutcome(campaign=campaign)
+
+    pending: list[CampaignCell] = []
+    for cell in cells:
+        cached = cache.get(cell.key) if cache is not None else None
+        if cached is not None:
+            outcome.results[(cell.config.name, cell.workload_name)] = cached
+            outcome.from_cache += 1
+            reporter.cell_done(cell, 0.0, reused=True)
+            continue
+        stored = store.get(cell.fingerprint) if store is not None else None
+        if stored is not None:
+            outcome.results[(cell.config.name, cell.workload_name)] = stored
+            outcome.from_store += 1
+            if cache is not None:
+                cache.put(cell.key, stored)
+            reporter.cell_done(cell, 0.0, reused=True)
+            continue
+        pending.append(cell)
+
+    def complete(cell: CampaignCell, result: SimulationResult, seconds: float) -> None:
+        outcome.results[(cell.config.name, cell.workload_name)] = result
+        outcome.simulated += 1
+        if store is not None:
+            store.put(cell, result)
+        if cache is not None:
+            cache.put(cell.key, result)
+        reporter.cell_done(cell, seconds, reused=False)
+
+    if pending:
+        if workers <= 1 or len(pending) == 1:
+            for cell in pending:
+                cell_started = time.monotonic()
+                result = simulate_cell(cell)
+                complete(cell, result, time.monotonic() - cell_started)
+        else:
+            _run_sharded(pending, workers, complete)
+
+    outcome.elapsed_seconds = time.monotonic() - started
+    reporter.finish()
+    return outcome
+
+
+def _run_sharded(pending, workers: int, complete) -> None:
+    """Fan ``pending`` cells out over a process pool, checkpointing as each lands."""
+    by_fingerprint = {cell.fingerprint: cell for cell in pending}
+    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+        futures = {pool.submit(_pool_worker, cell) for cell in pending}
+        while futures:
+            finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in finished:
+                fingerprint, result_dict, seconds = future.result()
+                cell = by_fingerprint[fingerprint]
+                complete(cell, SimulationResult.from_dict(result_dict), seconds)
+
+
+def campaign_status(campaign: Campaign, store: ResultStore | None) -> dict:
+    """Done/missing cell accounting for ``status`` reporting (no simulation)."""
+    cells = campaign.cells()
+    done = [cell for cell in cells if store is not None and cell.fingerprint in store]
+    missing = [cell for cell in cells if store is None or cell.fingerprint not in store]
+    return {
+        "total": len(cells),
+        "done": len(done),
+        "missing": len(missing),
+        "missing_cells": [cell.describe() for cell in missing],
+    }

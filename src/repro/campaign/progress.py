@@ -1,0 +1,101 @@
+"""Wall-clock progress and ETA reporting for campaign runs.
+
+The reporter distinguishes *simulated* cells from *reused* ones (in-memory cache or
+persistent store hits): the ETA extrapolates from the mean wall-clock of simulated
+cells only, so a resumed campaign that fast-forwards through stored results does not
+report an absurdly optimistic finish time for the remaining real work.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+from repro.campaign.spec import CampaignCell
+
+
+def format_duration(seconds: float) -> str:
+    """Compact human duration: ``3.2s``, ``4m12s``, ``1h03m``."""
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Prints one line per finished cell plus a final summary."""
+
+    def __init__(
+        self,
+        total: int,
+        enabled: bool = True,
+        stream: TextIO | None = None,
+        label: str = "campaign",
+        workers: int = 1,
+    ) -> None:
+        self.total = total
+        self.enabled = enabled
+        self.workers = max(1, workers)
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.done = 0
+        self.simulated = 0
+        self.reused = 0
+        self._started = time.monotonic()
+        self._simulated_seconds = 0.0
+
+    # ------------------------------------------------------------------ events
+    def cell_done(self, cell: CampaignCell, seconds: float, reused: bool) -> None:
+        """Record one finished cell (``reused`` = served from cache/store)."""
+        self.done += 1
+        if reused:
+            self.reused += 1
+        else:
+            self.simulated += 1
+            self._simulated_seconds += seconds
+        if not self.enabled:
+            return
+        source = "reused" if reused else f"simulated in {format_duration(seconds)}"
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        self._emit(
+            f"{self.done}/{self.total} ({percent:3.0f}%) {cell.describe()} {source}"
+            f" — elapsed {format_duration(self.elapsed)}, ETA {format_duration(self.eta)}"
+        )
+
+    def finish(self) -> None:
+        """Print the closing summary line."""
+        if not self.enabled:
+            return
+        self._emit(
+            f"done: {self.simulated} simulated, {self.reused} reused, "
+            f"{self.total} cells in {format_duration(self.elapsed)}"
+        )
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the reporter was created."""
+        return time.monotonic() - self._started
+
+    @property
+    def eta(self) -> float:
+        """Projected seconds to completion from the mean simulated-cell cost.
+
+        The mean is divided across the worker pool (capped at the remaining cell
+        count) — per-cell durations accumulate concurrently under sharding, so a
+        serial projection would overestimate by roughly the worker count.
+        """
+        remaining = self.total - self.done
+        if remaining <= 0 or self.simulated == 0:
+            return 0.0
+        mean = self._simulated_seconds / self.simulated
+        return remaining * mean / min(self.workers, remaining)
+
+    def _emit(self, message: str) -> None:
+        print(f"[{self.label}] {message}", file=self.stream, flush=True)

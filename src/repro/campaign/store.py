@@ -1,0 +1,215 @@
+"""Persistent on-disk result store (JSON-lines, append-only with compaction).
+
+Each line is one completed :class:`~repro.campaign.spec.CampaignCell`::
+
+    {"fingerprint": "…", "config": "EOLE_4_64", "workload": "mcf",
+     "max_uops": 12000, "warmup_uops": 3000, "saved_unix": 1706…,
+     "result": {…SimulationResult.to_dict()…}}
+
+Appending one line per finished simulation makes every record a checkpoint: an
+interrupted campaign loses at most the in-flight cells, and a half-written trailing
+line (the typical kill artefact) is skipped on load.  The newest record wins when a
+fingerprint appears more than once (e.g. after :meth:`ResultStore.merge`), and
+:meth:`ResultStore.compact` rewrites the file with the duplicates dropped.
+
+The store is *content-addressed*: the fingerprint hashes the full configuration
+dataclass, so results are invalidated implicitly whenever the simulated machine
+changes, and :meth:`ResultStore.invalidate` handles the explicit cases (a simulator
+bug-fix, a retired workload).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.campaign.spec import CampaignCell
+from repro.pipeline.stats import SimulationResult
+
+#: Environment variable naming the default persistent store (opt-in).
+STORE_ENV_VAR = "REPRO_RESULT_STORE"
+
+
+class ResultStore:
+    """A persistent map from cell fingerprint to :class:`SimulationResult`."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._skipped_lines = 0
+        self._load()
+
+    # ------------------------------------------------------------------ loading
+    def _load(self) -> None:
+        self._records.clear()
+        self._skipped_lines = 0
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    fingerprint = record["fingerprint"]
+                    record["result"]  # noqa: B018 — validate presence
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self._skipped_lines += 1
+                    continue
+                self._records[fingerprint] = record
+
+    def reload(self) -> None:
+        """Re-read the backing file (e.g. after another process appended to it)."""
+        self._load()
+
+    # ------------------------------------------------------------------ querying
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    @property
+    def skipped_lines(self) -> int:
+        """Corrupt/truncated lines ignored by the last load."""
+        return self._skipped_lines
+
+    def get(self, fingerprint: str) -> SimulationResult | None:
+        """The stored result for ``fingerprint``, or ``None``."""
+        record = self._records.get(fingerprint)
+        if record is None:
+            return None
+        return SimulationResult.from_dict(record["result"])
+
+    def get_record(self, fingerprint: str) -> dict | None:
+        """The raw stored record (metadata + result dict), or ``None``."""
+        return self._records.get(fingerprint)
+
+    def records(self) -> list[dict]:
+        """All records, in insertion order."""
+        return list(self._records.values())
+
+    def fingerprints(self) -> set[str]:
+        """The set of stored fingerprints."""
+        return set(self._records)
+
+    # ------------------------------------------------------------------ writing
+    def put(self, cell: CampaignCell, result: SimulationResult) -> dict:
+        """Persist ``result`` for ``cell`` (append + flush: an atomic-enough checkpoint)."""
+        record = {
+            "fingerprint": cell.fingerprint,
+            "config": cell.config.name,
+            "workload": cell.workload_name,
+            "max_uops": cell.max_uops,
+            "warmup_uops": cell.warmup_uops,
+            "saved_unix": time.time(),
+            "result": result.to_dict(),
+        }
+        self._records[cell.fingerprint] = record
+        self._append(record)
+        return record
+
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def _rewrite(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for record in self._records.values():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        tmp_path.replace(self.path)
+        self._skipped_lines = 0
+
+    def compact(self) -> None:
+        """Rewrite the file dropping duplicate fingerprints and corrupt lines."""
+        self._rewrite()
+
+    # ------------------------------------------------------------------ maintenance
+    def merge(self, other: "ResultStore | str | os.PathLike") -> int:
+        """Fold another store's records into this one; returns the number adopted.
+
+        Records whose fingerprint is already present locally are kept (ours wins —
+        merge is for adopting *missing* cells, e.g. from a co-worker's store file).
+        """
+        if not isinstance(other, ResultStore):
+            other = ResultStore(other)
+        adopted = 0
+        for record in other.records():
+            if record["fingerprint"] not in self._records:
+                self._records[record["fingerprint"]] = record
+                self._append(record)
+                adopted += 1
+        return adopted
+
+    def invalidate(
+        self,
+        config: str | None = None,
+        workload: str | None = None,
+        fingerprints: set[str] | None = None,
+    ) -> int:
+        """Drop records matching any given filter; returns the number removed.
+
+        With no filters, every record is dropped (a full reset).  The backing file is
+        rewritten in place.
+        """
+        def doomed(record: dict) -> bool:
+            if fingerprints is not None and record["fingerprint"] in fingerprints:
+                return True
+            if config is not None and record["config"] == config:
+                return True
+            if workload is not None and record["workload"] == workload:
+                return True
+            return config is None and workload is None and fingerprints is None
+
+        removed = [fp for fp, record in self._records.items() if doomed(record)]
+        for fingerprint in removed:
+            del self._records[fingerprint]
+        self._rewrite()
+        return len(removed)
+
+    # ------------------------------------------------------------------ reporting
+    def summary(self) -> dict:
+        """Aggregate view used by ``repro.campaign status``: counts by config/workload."""
+        by_config: dict[str, int] = {}
+        by_workload: dict[str, int] = {}
+        for record in self._records.values():
+            by_config[record["config"]] = by_config.get(record["config"], 0) + 1
+            by_workload[record["workload"]] = by_workload.get(record["workload"], 0) + 1
+        return {
+            "path": str(self.path),
+            "records": len(self._records),
+            "skipped_lines": self._skipped_lines,
+            "configs": by_config,
+            "workloads": by_workload,
+        }
+
+
+# ---------------------------------------------------------------- default store (env)
+_default_store: ResultStore | None = None
+_default_store_path: str | None = None
+
+
+def default_store() -> ResultStore | None:
+    """The process-wide store named by ``REPRO_RESULT_STORE``, or ``None`` if unset.
+
+    The instance is cached per path, so the library layers
+    (:func:`repro.analysis.runner.run_workload` and friends) share one in-memory index
+    per process; re-pointing the environment variable swaps the store.
+    """
+    global _default_store, _default_store_path
+    path = os.environ.get(STORE_ENV_VAR)
+    if not path:
+        _default_store = None
+        _default_store_path = None
+        return None
+    if _default_store is None or _default_store_path != path:
+        _default_store = ResultStore(path)
+        _default_store_path = path
+    return _default_store

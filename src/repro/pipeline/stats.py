@@ -56,6 +56,16 @@ class SimStats:
         """Shallow copy (all fields are ints)."""
         return replace(self)
 
+    def to_dict(self) -> dict:
+        """Field name → counter value (JSON-safe)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Rebuild from :meth:`to_dict` output; unknown keys are ignored (forward compat)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{name: value for name, value in data.items() if name in known})
+
     def delta(self, earlier: "SimStats") -> "SimStats":
         """Counter-wise difference ``self - earlier`` (measurement window extraction)."""
         values = {
@@ -124,6 +134,49 @@ class SimulationResult:
         if baseline.ipc == 0:
             return 0.0
         return self.ipc / baseline.ipc
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form, so results survive pickling boundaries and sessions.
+
+        Used by the campaign subsystem to ship results from worker processes and to
+        persist them in the on-disk result store; :meth:`from_dict` inverts it exactly.
+        """
+        return {
+            "config_name": self.config_name,
+            "workload_name": self.workload_name,
+            "stats": self.stats.to_dict(),
+            "full_stats": self.full_stats.to_dict(),
+            "warmup_uops": self.warmup_uops,
+            "predictor_coverage": self.predictor_coverage,
+            "predictor_accuracy": self.predictor_accuracy,
+            "tage_misprediction_rate": self.tage_misprediction_rate,
+            "tage_high_confidence_misprediction_rate": (
+                self.tage_high_confidence_misprediction_rate
+            ),
+            "l1d_miss_rate": self.l1d_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            config_name=data["config_name"],
+            workload_name=data["workload_name"],
+            stats=SimStats.from_dict(data["stats"]),
+            full_stats=SimStats.from_dict(data["full_stats"]),
+            warmup_uops=data.get("warmup_uops", 0),
+            predictor_coverage=data.get("predictor_coverage", 0.0),
+            predictor_accuracy=data.get("predictor_accuracy", 0.0),
+            tage_misprediction_rate=data.get("tage_misprediction_rate", 0.0),
+            tage_high_confidence_misprediction_rate=data.get(
+                "tage_high_confidence_misprediction_rate", 0.0
+            ),
+            l1d_miss_rate=data.get("l1d_miss_rate", 0.0),
+            l2_miss_rate=data.get("l2_miss_rate", 0.0),
+            extra=dict(data.get("extra", {})),
+        )
 
     def summary(self) -> str:
         """One-line human readable summary."""

@@ -57,3 +57,20 @@ class TestRunner:
         monkeypatch.setenv("REPRO_SIM_WARMUP", "111")
         assert default_max_uops() == 777
         assert default_warmup_uops() == 111
+
+
+class TestCustomWorkloads:
+    def test_run_suite_simulates_the_object_passed_not_the_registry_twin(self):
+        """A caller-supplied Workload sharing a suite name must not be swapped for
+        the registry's instance by the campaign routing (which ships cells by name)."""
+        from repro.workloads.spec import WorkloadSpec
+        from repro.workloads.suite import Workload, workload
+
+        impostor = Workload(WorkloadSpec(name="gcc", paper_benchmark="403.gcc"))
+        assert impostor is not workload("gcc")
+        custom = run_suite(_fast_config(), [impostor], max_uops=400, warmup_uops=0, cache=None)
+        registry = run_suite(
+            _fast_config(), [workload("gcc")], max_uops=400, warmup_uops=0, cache=None
+        )
+        # The impostor's default-knob program behaves differently from real gcc.
+        assert custom["gcc"].stats != registry["gcc"].stats

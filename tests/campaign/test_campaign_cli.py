@@ -1,0 +1,125 @@
+"""Tests for the ``python -m repro.campaign`` command line."""
+
+import pytest
+
+from repro.analysis.runner import run_suite
+from repro.campaign.cli import main
+from repro.campaign.store import ResultStore
+from repro.pipeline.config import named_config
+from repro.workloads.suite import FAST_SUBSET, fast_workloads
+
+UOPS, WARMUP = 500, 100
+CONFIGS = "Baseline_6_64,Baseline_VP_6_64"
+
+
+def _run_args(store_path, workers=2):
+    return [
+        "run",
+        "--configs", CONFIGS,
+        "--workloads", "subset",
+        "--max-uops", str(UOPS),
+        "--warmup-uops", str(WARMUP),
+        "--store", str(store_path),
+        "--workers", str(workers),
+        "--quiet",
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+
+
+class TestRunCommand:
+    def test_two_config_fast_subset_campaign_matches_serial_and_resumes(
+        self, tmp_path, capsys
+    ):
+        """Acceptance: 2 configs × fast subset on 2 workers == serial run_suite IPCs,
+        results persist, and a second invocation simulates nothing new."""
+        store_path = tmp_path / "campaign.jsonl"
+        assert main(_run_args(store_path, workers=2)) == 0
+        first_out = capsys.readouterr().out
+        assert f"{len(FAST_SUBSET) * 2} simulated" in first_out
+
+        store = ResultStore(store_path)
+        assert len(store) == len(FAST_SUBSET) * 2
+
+        # Per-cell IPC parity with the serial library path.
+        for config_name in CONFIGS.split(","):
+            serial = run_suite(
+                named_config(config_name), fast_workloads(), UOPS, WARMUP, cache=None
+            )
+            stored = {
+                record["workload"]: record
+                for record in store.records()
+                if record["config"] == config_name
+            }
+            for name, result in serial.items():
+                cell_stats = stored[name]["result"]["stats"]
+                assert cell_stats["committed_uops"] / cell_stats["cycles"] == result.ipc
+
+        # Second invocation: everything comes from the store, zero new simulations.
+        assert main(_run_args(store_path, workers=2)) == 0
+        second_out = capsys.readouterr().out
+        assert "0 simulated" in second_out
+        assert f"{len(FAST_SUBSET) * 2} from store" in second_out
+
+    def test_unknown_config_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["run", "--configs", "NoSuchMachine", "--workloads", "subset",
+             "--max-uops", "500", "--warmup-uops", "0",
+             "--store", str(tmp_path / "s.jsonl"), "--quiet"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStatusCommand:
+    def test_status_reports_missing_then_done(self, tmp_path, capsys):
+        store_path = tmp_path / "campaign.jsonl"
+        status_args = [
+            "status",
+            "--configs", CONFIGS,
+            "--workloads", "subset",
+            "--max-uops", str(UOPS),
+            "--warmup-uops", str(WARMUP),
+            "--store", str(store_path),
+        ]
+        assert main(status_args) == 1  # nothing simulated yet
+        out = capsys.readouterr().out
+        assert f"0/{len(FAST_SUBSET) * 2} cells done" in out
+        assert "missing Baseline_6_64/wupwise" in out
+
+        main(_run_args(store_path, workers=1))
+        capsys.readouterr()
+        assert main(status_args) == 0
+        out = capsys.readouterr().out
+        assert f"{len(FAST_SUBSET) * 2}/{len(FAST_SUBSET) * 2} cells done" in out
+
+
+class TestReportCommand:
+    def test_report_tabulates_ipcs_and_speedups(self, tmp_path, capsys):
+        store_path = tmp_path / "campaign.jsonl"
+        main(_run_args(store_path, workers=1))
+        capsys.readouterr()
+
+        assert main(["report", "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline_6_64" in out and "Baseline_VP_6_64" in out
+        for name in FAST_SUBSET:
+            assert name in out
+
+        assert main(
+            ["report", "--store", str(store_path), "--baseline", "Baseline_6_64"]
+        ) == 0
+        assert "speedup over Baseline_6_64" in capsys.readouterr().out
+
+    def test_report_on_empty_store(self, tmp_path, capsys):
+        assert main(["report", "--store", str(tmp_path / "void.jsonl")]) == 1
+        assert "empty" in capsys.readouterr().out
+
+    def test_report_with_unknown_baseline(self, tmp_path, capsys):
+        store_path = tmp_path / "campaign.jsonl"
+        main(_run_args(store_path, workers=1))
+        capsys.readouterr()
+        assert main(["report", "--store", str(store_path), "--baseline", "Nope"]) == 1

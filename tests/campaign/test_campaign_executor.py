@@ -1,0 +1,129 @@
+"""Tests for the campaign executor: parity with the serial path, resume, sharding."""
+
+import pytest
+
+from repro.analysis.runner import ResultCache, run_suite
+from repro.campaign.executor import campaign_status, default_workers, run_campaign
+from repro.campaign.spec import Campaign
+from repro.campaign.store import ResultStore
+from repro.pipeline.config import PipelineConfig
+
+UOPS, WARMUP = 500, 100
+
+
+def _fast_config(name, **kw) -> PipelineConfig:
+    return PipelineConfig(name=name, predictor_name="hybrid-small", **kw)
+
+
+def _campaign(workloads=("gcc", "mcf"), seed=None) -> Campaign:
+    return Campaign(
+        name="test",
+        configs=(_fast_config("CfgA"), _fast_config("CfgB", value_prediction=True)),
+        workload_names=tuple(workloads),
+        max_uops=UOPS,
+        warmup_uops=WARMUP,
+        seed=seed,
+    )
+
+
+class TestRunCampaign:
+    def test_serial_run_covers_the_grid(self, tmp_path):
+        campaign = _campaign()
+        outcome = run_campaign(campaign, store=ResultStore(tmp_path / "s.jsonl"), workers=1)
+        assert set(outcome.results) == {
+            ("CfgA", "gcc"), ("CfgA", "mcf"), ("CfgB", "gcc"), ("CfgB", "mcf"),
+        }
+        assert outcome.simulated == 4
+        assert all(result.ipc > 0 for result in outcome.results.values())
+
+    def test_resumed_campaign_runs_zero_cells(self, tmp_path):
+        campaign = _campaign()
+        store_path = tmp_path / "s.jsonl"
+        first = run_campaign(campaign, store=ResultStore(store_path), workers=1)
+        second = run_campaign(campaign, store=ResultStore(store_path), workers=1)
+        assert first.simulated == 4
+        assert second.simulated == 0
+        assert second.from_store == 4
+        assert second.ipcs() == first.ipcs()
+
+    def test_interrupted_campaign_resumes_only_missing_cells(self, tmp_path):
+        campaign = _campaign()
+        store = ResultStore(tmp_path / "s.jsonl")
+        run_campaign(campaign, store=store, workers=1)
+        store.invalidate(workload="mcf")
+        assert campaign_status(campaign, store)["missing"] == 2
+        resumed = run_campaign(campaign, store=store, workers=1)
+        assert resumed.simulated == 2
+        assert campaign_status(campaign, store)["missing"] == 0
+
+    def test_in_memory_cache_short_circuits_the_store(self, tmp_path):
+        campaign = _campaign(workloads=("gcc",))
+        cache = ResultCache()
+        first = run_campaign(campaign, store=None, workers=1, cache=cache)
+        second = run_campaign(campaign, store=None, workers=1, cache=cache)
+        assert first.simulated == 2 and second.simulated == 0
+        assert second.from_cache == 2
+
+    def test_sharded_run_matches_serial_ipcs(self, tmp_path):
+        campaign = _campaign()
+        sharded = run_campaign(
+            campaign, store=ResultStore(tmp_path / "s.jsonl"), workers=2
+        )
+        serial = run_campaign(_campaign(), store=None, workers=1)
+        assert sharded.simulated == 4
+        assert sharded.ipcs() == serial.ipcs()
+
+    def test_sharded_run_matches_run_suite(self, tmp_path):
+        """Acceptance: campaign IPCs are identical to the serial run_suite path."""
+        from repro.workloads.suite import workload
+
+        campaign = _campaign()
+        outcome = run_campaign(campaign, store=ResultStore(tmp_path / "s.jsonl"), workers=2)
+        for config in campaign.configs:
+            expected = run_suite(
+                config,
+                [workload(name) for name in campaign.workload_names],
+                UOPS,
+                WARMUP,
+                cache=None,
+            )
+            for name, result in expected.items():
+                assert outcome.results[(config.name, name)].ipc == result.ipc
+                assert outcome.results[(config.name, name)].stats == result.stats
+
+    def test_seeded_campaign_does_not_reuse_unseeded_cache_entries(self):
+        cache = ResultCache()
+        unseeded = run_campaign(_campaign(workloads=("gcc",)), workers=1, cache=cache)
+        seeded = run_campaign(_campaign(workloads=("gcc",), seed=7), workers=1, cache=cache)
+        assert unseeded.simulated == 2
+        assert seeded.simulated == 2  # different predictor seeds → no cache hits
+        assert seeded.from_cache == 0
+
+    def test_campaign_seed_is_deterministic_across_runs(self):
+        seeded_a = run_campaign(_campaign(workloads=("gcc",), seed=3), workers=1)
+        seeded_b = run_campaign(_campaign(workloads=("gcc",), seed=3), workers=1)
+        assert seeded_a.ipcs() == seeded_b.ipcs()
+        cells = _campaign(workloads=("gcc",), seed=3).cells()
+        assert {cell.config.predictor_seed for cell in cells} != {
+            cell.config.predictor_seed for cell in _campaign(workloads=("gcc",)).cells()
+        }
+
+
+class TestWorkers:
+    def test_default_workers_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_default_workers_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_CAMPAIGN_WORKERS", raising=False)
+        assert default_workers() == (os.cpu_count() or 1)
+
+
+class TestStatus:
+    def test_status_without_store(self):
+        campaign = _campaign()
+        status = campaign_status(campaign, None)
+        assert status["total"] == status["missing"] == 4
+        assert "CfgA/gcc" in status["missing_cells"]

@@ -1,0 +1,58 @@
+"""Tests for progress/ETA reporting."""
+
+import io
+
+from repro.campaign.progress import ProgressReporter, format_duration
+from repro.campaign.spec import CampaignCell
+from repro.pipeline.config import baseline_6_64
+
+
+class TestFormatDuration:
+    def test_seconds_minutes_hours(self):
+        assert format_duration(3.21) == "3.2s"
+        assert format_duration(252) == "4m12s"
+        assert format_duration(3780) == "1h03m"
+        assert format_duration(-1) == "0.0s"
+
+
+class TestProgressReporter:
+    def _cell(self):
+        return CampaignCell(baseline_6_64(), "mcf", 1000, 0)
+
+    def test_counts_simulated_vs_reused(self):
+        reporter = ProgressReporter(total=3, enabled=False)
+        reporter.cell_done(self._cell(), 2.0, reused=False)
+        reporter.cell_done(self._cell(), 0.0, reused=True)
+        assert reporter.done == 2
+        assert reporter.simulated == 1
+        assert reporter.reused == 1
+
+    def test_eta_extrapolates_from_simulated_cells_only(self):
+        reporter = ProgressReporter(total=4, enabled=False)
+        reporter.cell_done(self._cell(), 2.0, reused=False)
+        reporter.cell_done(self._cell(), 0.0, reused=True)
+        assert reporter.eta == 4.0  # 2 remaining × 2.0s mean simulated cost
+
+    def test_eta_divides_across_workers(self):
+        reporter = ProgressReporter(total=9, enabled=False, workers=4)
+        reporter.cell_done(self._cell(), 2.0, reused=False)
+        assert reporter.eta == 4.0  # 8 remaining × 2.0s mean ÷ 4 workers
+
+    def test_eta_worker_division_capped_at_remaining_cells(self):
+        reporter = ProgressReporter(total=2, enabled=False, workers=8)
+        reporter.cell_done(self._cell(), 3.0, reused=False)
+        assert reporter.eta == 3.0  # 1 remaining cell can only use 1 worker
+
+    def test_eta_zero_when_nothing_simulated_yet(self):
+        reporter = ProgressReporter(total=2, enabled=False)
+        reporter.cell_done(self._cell(), 0.0, reused=True)
+        assert reporter.eta == 0.0
+
+    def test_emits_progress_lines_when_enabled(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, enabled=True, stream=stream, label="x")
+        reporter.cell_done(self._cell(), 1.0, reused=False)
+        reporter.finish()
+        output = stream.getvalue()
+        assert "[x] 1/1 (100%) Baseline_6_64/mcf simulated" in output
+        assert "done: 1 simulated, 0 reused" in output

@@ -39,9 +39,21 @@ class TestSuiteStructure:
         with pytest.raises(ConfigurationError):
             workload("doom")
 
+    def test_unknown_workload_error_names_the_known_suite(self):
+        with pytest.raises(ConfigurationError, match="unknown workload 'doom'"):
+            workload("doom")
+        with pytest.raises(ConfigurationError, match="mcf"):
+            workload("doom")
+
     def test_fast_subset_is_a_subset(self):
         assert set(FAST_SUBSET) <= set(SUITE_ORDER)
         assert [wl.name for wl in fast_workloads()] == list(FAST_SUBSET)
+
+    def test_bench_subset_is_a_subset_of_the_suite(self):
+        from repro.campaign.spec import BENCH_SUBSET
+
+        assert set(BENCH_SUBSET) <= set(SUITE_ORDER)
+        assert len(set(BENCH_SUBSET)) == len(BENCH_SUBSET)
 
     def test_workload_names_order(self):
         assert workload_names() == list(SUITE_ORDER)
@@ -53,6 +65,14 @@ class TestSuiteStructure:
     def test_make_state_returns_fresh_states(self):
         wl = workload("mcf")
         assert wl.make_state() is not wl.make_state()
+
+    def test_states_are_independent_across_calls(self):
+        wl = workload("gzip")
+        first, second = wl.make_state(), wl.make_state()
+        address = next(iter(first.memory)) if first.memory else 0
+        original = second.memory.get(address, 0)
+        first.memory[address] = original + 12345
+        assert second.memory.get(address, 0) == original
 
 
 class TestSuiteBehaviouralDiversity:
