@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Simulator throughput harness: committed µ-ops/second, single-cell and grid.
+
+Measures two workloads-per-wall-clock numbers and records them in
+``BENCH_throughput.json`` at the repository root so performance PRs have a
+trajectory to beat (see docs/performance.md):
+
+* **single cell** — one ``EOLE_4_64 × gcc`` simulation (the paper's headline
+  configuration on a branchy workload);
+* **grid** — the 4-configuration × 4-workload microbenchmark
+  (`Baseline_6_64`, `Baseline_VP_6_64`, `EOLE_4_64`, `EOLE_4_64_4ports_4banks` ×
+  `wupwise`, `bzip2`, `gcc`, `milc`), run with a **cold** trace cache and no result
+  reuse — the end-to-end cost of regenerating one figure from scratch.
+
+The harness deliberately uses only APIs that exist since PR 1 (`simulate_cell`),
+so it can be dropped onto an older checkout to produce a comparison baseline:
+
+    PYTHONPATH=src python benchmarks/perf/throughput.py --output /tmp/base.json
+
+and then on the optimised tree:
+
+    PYTHONPATH=src python benchmarks/perf/throughput.py --baseline-json /tmp/base.json
+
+which records the old numbers under ``"baseline"`` plus a ``"grid_speedup"`` ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.runner import ResultCache  # noqa: E402
+from repro.campaign.executor import simulate_cell  # noqa: E402
+from repro.campaign.spec import CampaignCell  # noqa: E402
+from repro.pipeline.config import named_config  # noqa: E402
+from repro.workloads.suite import workload  # noqa: E402
+
+try:  # the trace subsystem arrives with this harness; the baseline tree lacks it
+    from repro.trace.cache import shared_trace_cache
+except ImportError:  # pragma: no cover - only on pre-trace checkouts
+    shared_trace_cache = None
+
+GRID_CONFIGS = (
+    "Baseline_6_64",
+    "Baseline_VP_6_64",
+    "EOLE_4_64",
+    "EOLE_4_64_4ports_4banks",
+)
+GRID_WORKLOADS = ("wupwise", "bzip2", "gcc", "milc")
+SINGLE_CONFIG = "EOLE_4_64"
+SINGLE_WORKLOAD = "gcc"
+
+
+def _cell(config_name: str, workload_name: str, max_uops: int, warmup_uops: int) -> CampaignCell:
+    return CampaignCell(
+        config=named_config(config_name),
+        workload_name=workload_name,
+        max_uops=max_uops,
+        warmup_uops=warmup_uops,
+    )
+
+
+def _clear_caches() -> None:
+    if shared_trace_cache is not None:
+        shared_trace_cache.clear()
+
+
+def measure_single_cell(max_uops: int, warmup_uops: int, repeat: int) -> dict:
+    """Best-of-``repeat`` timing of one cold simulation (capture + simulate)."""
+    best = float("inf")
+    for _ in range(repeat):
+        _clear_caches()
+        cell = _cell(SINGLE_CONFIG, SINGLE_WORKLOAD, max_uops, warmup_uops)
+        wl = workload(SINGLE_WORKLOAD)
+        started = time.perf_counter()
+        simulate_cell(cell, wl)
+        best = min(best, time.perf_counter() - started)
+    return {
+        "config": SINGLE_CONFIG,
+        "workload": SINGLE_WORKLOAD,
+        "max_uops": max_uops,
+        "seconds": best,
+        "committed_uops_per_second": max_uops / best,
+    }
+
+
+def measure_grid(max_uops: int, warmup_uops: int, repeat: int) -> dict:
+    """Best-of-``repeat`` timing of the full 4×4 grid with a cold trace cache."""
+    cells = [
+        _cell(config_name, workload_name, max_uops, warmup_uops)
+        for config_name in GRID_CONFIGS
+        for workload_name in GRID_WORKLOADS
+    ]
+    best = float("inf")
+    for _ in range(repeat):
+        _clear_caches()
+        ResultCache().clear()
+        started = time.perf_counter()
+        for cell in cells:
+            simulate_cell(cell)
+        best = min(best, time.perf_counter() - started)
+    total_uops = max_uops * len(cells)
+    return {
+        "configs": list(GRID_CONFIGS),
+        "workloads": list(GRID_WORKLOADS),
+        "cells": len(cells),
+        "max_uops_per_cell": max_uops,
+        "seconds": best,
+        "committed_uops_total": total_uops,
+        "committed_uops_per_second": total_uops / best,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-uops", type=int, default=8000)
+    parser.add_argument("--warmup-uops", type=int, default=2500)
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_throughput.json"),
+        help="where to write the JSON report (default: BENCH_throughput.json)",
+    )
+    parser.add_argument(
+        "--baseline-json", default=None,
+        help="a previous report to embed as the comparison baseline",
+    )
+    parser.add_argument("--label", default=None, help="free-form label for the run")
+    args = parser.parse_args(argv)
+
+    report = {
+        "label": args.label,
+        "recorded_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "trace_cache_available": shared_trace_cache is not None,
+        "single_cell": measure_single_cell(args.max_uops, args.warmup_uops, args.repeat),
+        "grid": measure_grid(args.max_uops, args.warmup_uops, args.repeat),
+    }
+    if args.baseline_json:
+        baseline = json.loads(Path(args.baseline_json).read_text())
+        report["baseline"] = {
+            "label": baseline.get("label"),
+            "single_cell": baseline["single_cell"],
+            "grid": baseline["grid"],
+        }
+        report["grid_speedup"] = baseline["grid"]["seconds"] / report["grid"]["seconds"]
+        report["single_cell_speedup"] = (
+            baseline["single_cell"]["seconds"] / report["single_cell"]["seconds"]
+        )
+    Path(args.output).write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+
+    grid = report["grid"]
+    single = report["single_cell"]
+    print(
+        f"single cell {single['config']}/{single['workload']}: {single['seconds']:.3f}s "
+        f"({single['committed_uops_per_second']:,.0f} µops/s)"
+    )
+    print(
+        f"grid {grid['cells']} cells: {grid['seconds']:.2f}s "
+        f"({grid['committed_uops_per_second']:,.0f} µops/s)"
+    )
+    if "grid_speedup" in report:
+        print(
+            f"speedup vs baseline: grid {report['grid_speedup']:.2f}x, "
+            f"single cell {report['single_cell_speedup']:.2f}x"
+        )
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,9 @@ def main() -> None:
     selected = workload(name)
     max_uops, warmup = 10_000, 3_000
 
-    baseline = run_workload(baseline_vp_6_64(), selected, max_uops, warmup, cache=None)
+    # Routed through the campaign engine: all ten configurations replay one captured
+    # trace, and with REPRO_RESULT_STORE set the sweep persists/resumes across runs.
+    baseline = run_workload(baseline_vp_6_64(), selected, max_uops, warmup)
     print(f"workload {name}: Baseline_VP_6_64 IPC = {baseline.ipc:.3f}\n")
 
     configurations = [
@@ -52,7 +54,7 @@ def main() -> None:
     print(f"{'configuration':<40s} {'IPC':>6s} {'vs VP_6_64':>11s} {'offload':>8s} {'LE/VT stalls':>13s}")
     print("-" * 82)
     for label, config in configurations:
-        result = run_workload(config, selected, max_uops, warmup, cache=None)
+        result = run_workload(config, selected, max_uops, warmup)
         print(
             f"{label:<40s} {result.ipc:6.3f} {result.ipc / baseline.ipc:11.3f} "
             f"{result.stats.offload_ratio:8.1%} {result.stats.levt_port_stalls:13d}"

@@ -5,6 +5,10 @@ Evaluates Last-Value, Stride, 2-Delta Stride, FCM, VTAGE and the paper's VTAGE-2
 hybrid on a few contrasting workloads, using the offline evaluation harness (no pipeline
 timing involved).  This mirrors the predictor discussion of Section 2 and Table 2.
 
+Each workload is emulated once: all six predictors replay the same captured trace from
+the shared trace cache, and with ``REPRO_TRACE_STORE`` set repeated comparison sessions
+skip emulation entirely (docs/performance.md).
+
 Usage::
 
     python examples/predictor_comparison.py [workload ...]

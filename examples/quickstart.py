@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.pipeline import baseline_6_64, baseline_vp_6_64, eole_4_64, simulate
+from repro.analysis.runner import run_workload
+from repro.pipeline import baseline_6_64, baseline_vp_6_64, eole_4_64
 from repro.workloads import workload
 
 
@@ -30,16 +31,12 @@ def main() -> None:
     print(f"workload: {name}  (stand-in for {selected.paper_benchmark})")
     print(f"simulating {max_uops} µ-ops ({warmup} warm-up) per configuration\n")
 
+    # run_workload routes through the campaign engine: the three configurations
+    # replay one captured trace, results land in the in-process cache, and with
+    # REPRO_RESULT_STORE set they persist across sessions (docs/campaign.md).
     results = {}
     for config in (baseline_6_64(), baseline_vp_6_64(), eole_4_64()):
-        result = simulate(
-            config,
-            selected.program,
-            max_uops=max_uops,
-            warmup_uops=warmup,
-            arch_state=selected.make_state(),
-            workload_name=selected.name,
-        )
+        result = run_workload(config, selected, max_uops, warmup)
         results[config.name] = result
         print(result.summary())
 

@@ -13,9 +13,11 @@ Usage::
 from __future__ import annotations
 
 import sys
+from itertools import islice
 
-from repro.isa import characterize, collect_trace
+from repro.isa import characterize
 from repro.isa.opcode import OpClass
+from repro.trace import shared_trace_cache
 from repro.workloads import all_workloads
 
 
@@ -28,7 +30,10 @@ def main() -> None:
     print(header)
     print("-" * (len(header) + 20))
     for wl in all_workloads():
-        stats = characterize(collect_trace(wl.program, max_uops, state=wl.make_state()))
+        # Traces come from the shared cache, so a later simulation study in the same
+        # process (or session, with REPRO_TRACE_STORE) reuses these captures.
+        trace = shared_trace_cache.trace_for_length(wl, max_uops)
+        stats = characterize(islice(trace.replay(), max_uops))
         fp_ratio = (
             stats.class_ratio(OpClass.FP_ALU)
             + stats.class_ratio(OpClass.FP_MUL)

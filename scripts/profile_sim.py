@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""cProfile entry point for simulator hot-loop work (see docs/performance.md).
+
+Profiles one (configuration × workload) simulation and prints the top functions.
+The trace is pre-captured outside the profiled region by default, so the report
+shows the timing-model cost alone; ``--include-capture`` folds the architectural
+emulation back in (what a cold campaign cell pays).
+
+Examples::
+
+    PYTHONPATH=src python scripts/profile_sim.py
+    PYTHONPATH=src python scripts/profile_sim.py --config Baseline_VP_6_64 \\
+        --workload mcf --max-uops 20000 --sort cumulative --limit 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.pipeline.config import NAMED_CONFIGS, named_config  # noqa: E402
+from repro.pipeline.simulator import simulate  # noqa: E402
+from repro.trace.cache import shared_trace_cache  # noqa: E402
+from repro.workloads.suite import SUITE_ORDER, workload  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", default="EOLE_4_64", choices=sorted(NAMED_CONFIGS))
+    parser.add_argument("--workload", default="gcc", choices=list(SUITE_ORDER))
+    parser.add_argument("--max-uops", type=int, default=12000)
+    parser.add_argument("--warmup-uops", type=int, default=3000)
+    parser.add_argument("--sort", default="tottime", choices=["tottime", "cumulative", "ncalls"])
+    parser.add_argument("--limit", type=int, default=30, help="rows to print")
+    parser.add_argument(
+        "--include-capture", action="store_true",
+        help="profile the architectural trace capture too (cold-cell cost)",
+    )
+    parser.add_argument("--dump", default=None, help="write raw pstats to this file")
+    args = parser.parse_args(argv)
+
+    config = named_config(args.config)
+    wl = workload(args.workload)
+    if not args.include_capture:
+        trace = shared_trace_cache.trace_for(wl, args.max_uops, config)
+        trace.instructions()  # materialise outside the profiled region
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    if args.include_capture:
+        shared_trace_cache.clear()
+        trace = shared_trace_cache.trace_for(wl, args.max_uops, config)
+    result = simulate(
+        config,
+        wl.program,
+        max_uops=args.max_uops,
+        warmup_uops=args.warmup_uops,
+        workload_name=wl.name,
+        trace=trace,
+    )
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    if args.dump:
+        stats.dump_stats(args.dump)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    print(result.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,14 +7,20 @@ harness walks a workload's architectural trace, performs a fetch-time lookup and
 commit-time training call per eligible µ-op (keeping branch history up to date), and
 reports the predictor's own statistics.  The same methodology underlies Table 2 and the
 confidence discussion of Section 4.2.
+
+The committed stream comes from the shared trace cache (:mod:`repro.trace`), so a
+predictor sweep emulates each workload once and every predictor replays the capture —
+and with ``REPRO_TRACE_STORE`` set, repeated study sessions skip emulation entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from itertools import islice
 
 from repro.bpu.history import GlobalHistory
 from repro.isa.emulator import Emulator
+from repro.trace.cache import shared_trace_cache, trace_cache_enabled
 from repro.vp.base import ValuePredictor
 from repro.workloads.suite import Workload
 
@@ -31,22 +37,36 @@ class PredictorEvaluation:
     mispredictions: int
     storage_kilobytes: float
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (mirrors ``SimulationResult.to_dict``)."""
+        return asdict(self)
+
 
 def evaluate_predictor(
     predictor: ValuePredictor,
     workload: Workload,
     max_uops: int = 20_000,
+    trace=None,
 ) -> PredictorEvaluation:
     """Run ``predictor`` over the committed trace of ``workload``.
 
     The predictor is looked up at "fetch" (trace order) and trained immediately with the
     architectural result, which is equivalent to commit-time training on a machine with
     no in-flight aliasing — an optimistic but standard trace-level approximation.
+
+    The committed stream is replayed from the shared trace cache (pass ``trace=`` to
+    supply an explicit :class:`~repro.trace.encoding.CapturedTrace`); set
+    ``REPRO_TRACE_CACHE=0`` to emulate inline instead.
     """
     history = GlobalHistory()
-    emulator = Emulator(workload.program, state=workload.make_state())
+    if trace is None and trace_cache_enabled():
+        trace = shared_trace_cache.trace_for_length(workload, max_uops)
+    if trace is not None:
+        stream = islice(trace.replay(), max_uops)
+    else:
+        stream = Emulator(workload.program, state=workload.make_state()).run(max_uops)
     eligible = 0
-    for inst in emulator.run(max_uops):
+    for inst in stream:
         uop = inst.uop
         if uop.is_conditional_branch:
             history.push(inst.taken)

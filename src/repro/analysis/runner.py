@@ -88,17 +88,25 @@ def run_workload(
     warmup_uops: int | None = None,
     cache: ResultCache | None = shared_cache,
     store: ResultStore | None = None,
+    trace=None,
 ) -> SimulationResult:
     """Simulate ``workload`` on ``config`` (cached by configuration name and lengths).
 
     Reuse order is cache → store → simulate; ``store=None`` falls back to the
-    ``REPRO_RESULT_STORE`` default store when that variable is set.
+    ``REPRO_RESULT_STORE`` default store when that variable is set.  Simulation
+    replays the workload's committed stream from the shared trace cache
+    (:mod:`repro.trace`); pass ``trace=`` to replay an explicit pre-captured trace
+    instead.  An explicit trace bypasses the result cache and store entirely — their
+    keys identify the *canonical* workload stream, which a caller-supplied trace
+    need not match.
     """
     max_uops = max_uops if max_uops is not None else default_max_uops()
     warmup_uops = warmup_uops if warmup_uops is not None else default_warmup_uops()
     cell = CampaignCell(
         config=config, workload_name=workload.name, max_uops=max_uops, warmup_uops=warmup_uops
     )
+    if trace is not None:
+        return simulate_cell(cell, workload, trace=trace)
     if cache is not None:
         cached = cache.get(cell.key)
         if cached is not None:

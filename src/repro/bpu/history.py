@@ -73,3 +73,38 @@ def fold_bits(value: int, length: int, width: int) -> int:
         folded ^= remaining & mask
         remaining >>= width
     return folded & mask
+
+
+class FoldedHistoryCache:
+    """Memoised folded-history values for a fixed set of (length, width) pairs.
+
+    The tagged predictors (TAGE, VTAGE) fold geometrically increasing history
+    slices on every lookup, but the history itself only changes when a conditional
+    branch retires direction into it (or a squash restores it).  This cache
+    recomputes the folds only when the observed history *bits* change — so a squash
+    restoring the pre-squash history, the common recovery case, keeps them — and is
+    shared by both predictors so the invalidation protocol cannot diverge.
+    """
+
+    __slots__ = ("lengths", "widths", "_source", "_bits", "_folds")
+
+    def __init__(self, lengths, widths) -> None:
+        self.lengths = tuple(lengths)
+        self.widths = tuple(widths)
+        if len(self.lengths) != len(self.widths):
+            raise ValueError("lengths and widths must pair up")
+        self._source: GlobalHistory | None = None
+        self._bits = -1
+        self._folds: tuple[int, ...] = ()
+
+    def folds(self, history: GlobalHistory) -> tuple[int, ...]:
+        """``fold(length, width)`` per pair, identical to computing them directly."""
+        bits = history.snapshot()
+        if history is not self._source or bits != self._bits:
+            fold = history.fold
+            self._folds = tuple(
+                fold(length, width) for length, width in zip(self.lengths, self.widths)
+            )
+            self._source = history
+            self._bits = bits
+        return self._folds

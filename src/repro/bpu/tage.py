@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bpu.history import GlobalHistory
+from repro.bpu.history import FoldedHistoryCache, GlobalHistory
 from repro.errors import ConfigurationError
 from repro.vp.confidence import DeterministicRandom
 from repro.vp.vtage import geometric_history_lengths
@@ -32,7 +32,7 @@ def _mix(value: int) -> int:
     return value ^ (value >> 29)
 
 
-@dataclass
+@dataclass(slots=True)
 class TAGEPrediction:
     """Outcome of a TAGE lookup, carried until branch resolution/commit for training."""
 
@@ -86,9 +86,22 @@ class TAGEBranchPredictor:
         self.useful_reset_period = useful_reset_period
         self._bimodal_mask = bimodal_entries - 1
         self._tagged_mask = tagged_entries - 1
+        self._index_width = self._tagged_mask.bit_length()
+        self._tag_mask = (1 << tag_bits) - 1
+        # Lookup memoisation, mirroring VTAGE: PC hash mixes are static, folded
+        # history refreshes only when the history bits change (pure caching).
+        self._pc_mix_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...], int]] = {}
+        self._index_fold_cache = FoldedHistoryCache(
+            self.history_lengths, [self._index_width] * num_components
+        )
+        self._tag_fold_cache = FoldedHistoryCache(
+            self.history_lengths, [tag_bits] * num_components
+        )
         self._bimodal = [2] * bimodal_entries  # 2-bit counters, 0..3, weakly not-taken=1
-        self._components = [
-            [_TageEntry() for _ in range(tagged_entries)] for _ in range(num_components)
+        # Entries are allocated lazily on first allocation: a ``None`` slot behaves
+        # exactly like a never-allocated entry (``valid`` False, ``useful`` 0).
+        self._components: list[list[_TageEntry | None]] = [
+            [None] * tagged_entries for _ in range(num_components)
         ]
         self._random = DeterministicRandom(seed)
         self._use_alt_on_na = 8  # 4-bit counter, >=8 means "use alt for new entries"
@@ -111,25 +124,44 @@ class TAGEBranchPredictor:
         folded = history.fold(self.history_lengths[rank], self.tag_bits)
         return (_mix(pc * 3 + rank * 7 + 5) ^ folded) & ((1 << self.tag_bits) - 1)
 
+    # ------------------------------------------------------------------ memoisation
+    def _pc_mixes(self, pc: int) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+        """The PC-dependent halves of every index/tag hash, plus the bimodal index."""
+        cached = self._pc_mix_cache.get(pc)
+        if cached is None:
+            index_mixes = tuple(
+                _mix(pc + rank * 0x9E37) for rank in range(self.num_components)
+            )
+            tag_mixes = tuple(
+                _mix(pc * 3 + rank * 7 + 5) for rank in range(self.num_components)
+            )
+            cached = (index_mixes, tag_mixes, _mix(pc) & self._bimodal_mask)
+            self._pc_mix_cache[pc] = cached
+        return cached
+
     # ------------------------------------------------------------------ prediction
     def predict(self, pc: int, history: GlobalHistory) -> TAGEPrediction:
         """Predict the direction of the conditional branch at ``pc``."""
         self.lookups += 1
+        index_mixes, tag_mixes, bimodal_index = self._pc_mixes(pc)
+        index_folds = self._index_fold_cache.folds(history)
+        tag_folds = self._tag_fold_cache.folds(history)
+        tagged_mask = self._tagged_mask
+        tag_mask = self._tag_mask
         indices = []
         tags = []
         provider = -1
         altpred_provider = -1
         for rank in range(self.num_components):
-            index = self._tagged_index(pc, history, rank)
-            tag = self._tagged_tag(pc, history, rank)
+            index = (index_mixes[rank] ^ index_folds[rank]) & tagged_mask
+            tag = (tag_mixes[rank] ^ tag_folds[rank]) & tag_mask
             indices.append(index)
             tags.append(tag)
             entry = self._components[rank][index]
-            if entry.valid and entry.tag == tag:
+            if entry is not None and entry.valid and entry.tag == tag:
                 altpred_provider = provider
                 provider = rank
 
-        bimodal_index = self._bimodal_index(pc)
         bimodal_taken = self._bimodal[bimodal_index] >= 2
 
         if altpred_provider >= 0:
@@ -211,20 +243,25 @@ class TAGEBranchPredictor:
 
     def _allocate(self, taken: bool, prediction: TAGEPrediction) -> None:
         start = prediction.provider + 1
-        candidates = [
-            rank
-            for rank in range(start, self.num_components)
-            if self._components[rank][prediction.indices[rank]].useful == 0
-        ]
+        components = self._components
+        candidates = []
+        for rank in range(start, self.num_components):
+            entry = components[rank][prediction.indices[rank]]
+            if entry is None or entry.useful == 0:
+                candidates.append(rank)
         if not candidates:
             for rank in range(start, self.num_components):
-                entry = self._components[rank][prediction.indices[rank]]
-                entry.useful = max(0, entry.useful - 1)
+                entry = components[rank][prediction.indices[rank]]
+                if entry is not None:
+                    entry.useful = max(0, entry.useful - 1)
             return
         choice = candidates[0]
         if len(candidates) > 1 and self._random.chance_half():
             choice = candidates[1]
-        entry = self._components[choice][prediction.indices[choice]]
+        entry = components[choice][prediction.indices[choice]]
+        if entry is None:
+            entry = _TageEntry()
+            components[choice][prediction.indices[choice]] = entry
         entry.valid = True
         entry.tag = prediction.tags[choice]
         entry.counter = 4 if taken else 3
@@ -233,7 +270,8 @@ class TAGEBranchPredictor:
     def _age_useful_bits(self) -> None:
         for component in self._components:
             for entry in component:
-                entry.useful >>= 1
+                if entry is not None:
+                    entry.useful >>= 1
 
     # ------------------------------------------------------------------ statistics
     @property

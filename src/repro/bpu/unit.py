@@ -25,7 +25,7 @@ from repro.isa.opcode import OpClass
 from repro.isa.trace import DynInst
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchOutcome:
     """Prediction record for one dynamic control-flow µ-op."""
 

@@ -4,7 +4,8 @@ Three subcommands::
 
     run     simulate a (configs × workloads) grid, persisting results to a store
     status  report done/missing cells for a grid against a store (no simulation)
-    report  tabulate stored results (IPC by default, speedups with --baseline)
+    report  tabulate stored results (IPC by default, speedups with --baseline;
+            --format json|csv for downstream plotting)
 
 Examples::
 
@@ -19,6 +20,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import csv
+import json
 import os
 import sys
 
@@ -102,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="config name to normalise against (reports speedups instead of IPCs)",
     )
+    report_parser.add_argument(
+        "--format",
+        choices=("table", "json", "csv"),
+        default="table",
+        help="output format: human table (default), or json/csv for downstream plotting",
+    )
     return parser
 
 
@@ -152,11 +161,31 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0 if status["missing"] == 0 else 1
 
 
+def _report_values(
+    ipcs: dict[str, dict[str, float]],
+    configs: list[str],
+    names: list[str],
+    baseline: str | None,
+) -> dict[str, dict[str, float | None]]:
+    """Workload → config → value (IPC, or speedup over the baseline config)."""
+    values: dict[str, dict[str, float | None]] = {}
+    for name in names:
+        row: dict[str, float | None] = {}
+        for config in configs:
+            value = ipcs[config].get(name)
+            if value is not None and baseline:
+                base = ipcs[baseline].get(name)
+                value = value / base if base else None
+            row[config] = value
+        values[name] = row
+    return values
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     records = store.records()
     if not records:
-        print(f"store {store.path} is empty")
+        print(f"store {store.path} is empty", file=sys.stderr)
         return 1
     ipcs: dict[str, dict[str, float]] = {}
     workload_names: dict[str, None] = {}
@@ -166,22 +195,51 @@ def _cmd_report(args: argparse.Namespace) -> int:
         workload_names.setdefault(record["workload"])
     baseline = args.baseline
     if baseline is not None and baseline not in ipcs:
-        print(f"baseline config {baseline!r} not in store (has: {sorted(ipcs)})")
+        print(f"baseline config {baseline!r} not in store (has: {sorted(ipcs)})", file=sys.stderr)
         return 1
     configs = sorted(ipcs)
     names = list(workload_names)
+    kind = f"speedup over {baseline}" if baseline else "IPC"
+    values = _report_values(ipcs, configs, names, baseline)
+
+    output_format = getattr(args, "format", "table")
+    if output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "store": str(store.path),
+                    "metric": "speedup" if baseline else "ipc",
+                    "baseline": baseline,
+                    "configs": configs,
+                    "workloads": names,
+                    "values": values,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if output_format == "csv":
+        writer = csv.writer(sys.stdout)
+        writer.writerow(["workload"] + configs)
+        for name in names:
+            writer.writerow(
+                [name]
+                + [
+                    "" if values[name][config] is None else f"{values[name][config]:.6f}"
+                    for config in configs
+                ]
+            )
+        return 0
+
     label_width = max([len("workload")] + [len(n) for n in names]) + 2
     column_width = max([10] + [len(c) + 2 for c in configs])
-    kind = f"speedup over {baseline}" if baseline else "IPC"
     print(f"store {store.path}: {kind}")
     print("workload".ljust(label_width) + "".join(c.rjust(column_width) for c in configs))
     for name in names:
         row = name.ljust(label_width)
         for config in configs:
-            value = ipcs[config].get(name)
-            if value is not None and baseline:
-                base = ipcs[baseline].get(name)
-                value = value / base if base else None
+            value = values[name][config]
             row += (f"{value:.3f}" if value is not None else "—").rjust(column_width)
         print(row)
     return 0
@@ -194,6 +252,14 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"run": _cmd_run, "status": _cmd_status, "report": _cmd_report}
     try:
         return handlers[args.command](args)
+    except BrokenPipeError:
+        # The stdout consumer (e.g. ``report --format csv | head``) closed the pipe;
+        # suppress the noise and exit cleanly like a well-behaved filter.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -8,10 +8,14 @@ The execution order per cell is cache → store → simulate:
    :class:`SimulationResult` conversion;
 3. everything else is simulated — inline when ``workers <= 1``, otherwise sharded
    across a :class:`~concurrent.futures.ProcessPoolExecutor` of at most
-   ``os.cpu_count()`` workers (env ``REPRO_CAMPAIGN_WORKERS`` overrides).
+   ``os.cpu_count()`` workers (env ``REPRO_CAMPAIGN_WORKERS`` overrides), with
+   same-workload cells batched onto one worker so its trace cache
+   (:mod:`repro.trace`) emulates each workload once and replays it per
+   configuration.
 
-Every finished simulation is appended to the store *immediately*, so an interrupted
-campaign is resumable: re-running it skips straight to the missing cells (step 2).
+Every finished simulation is appended to the store as its batch lands, so an
+interrupted campaign is resumable: re-running it skips straight to the missing cells
+(step 2).
 Determinism is unaffected by sharding because each cell is self-contained — the
 simulator derives all randomness from the configuration's ``predictor_seed`` (or the
 campaign-derived per-cell seed, see :class:`~repro.campaign.spec.Campaign`), never
@@ -30,6 +34,7 @@ from repro.campaign.spec import Campaign, CampaignCell
 from repro.campaign.store import ResultStore, default_store
 from repro.pipeline.simulator import Simulator
 from repro.pipeline.stats import SimulationResult
+from repro.trace.cache import shared_trace_cache, trace_cache_enabled
 from repro.workloads.suite import Workload, workload
 
 #: Environment variable overriding the worker-process count.
@@ -44,30 +49,49 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
-def simulate_cell(cell: CampaignCell, wl: Workload | None = None) -> SimulationResult:
+def simulate_cell(
+    cell: CampaignCell, wl: Workload | None = None, trace=None
+) -> SimulationResult:
     """Simulate one cell (the single primitive shared by every execution path).
 
     ``wl`` short-circuits the suite lookup when the caller already holds the workload
     object (the serial :func:`repro.analysis.runner.run_workload` path); worker
     processes pass only the cell and re-derive the workload from its name.
+
+    The workload's committed µ-op stream comes from the shared trace cache
+    (:mod:`repro.trace`): the architectural emulator runs once per workload and every
+    configuration replays the captured trace.  ``REPRO_TRACE_CACHE=0`` restores the
+    inline-emulation path (bit-identical, just slower).
     """
     wl = wl if wl is not None else workload(cell.workload_name)
+    if trace is None and trace_cache_enabled():
+        trace = shared_trace_cache.trace_for(wl, cell.max_uops, cell.config)
+    arch_state = wl.make_state() if trace is None else None
     simulator = Simulator(
         cell.config,
         wl.program,
         max_uops=cell.max_uops,
         warmup_uops=cell.warmup_uops,
-        arch_state=wl.make_state(),
+        arch_state=arch_state,
         workload_name=wl.name,
+        trace=trace,
     )
     return simulator.run()
 
 
-def _pool_worker(cell: CampaignCell) -> tuple[str, dict, float]:
-    """Process-pool entry point: returns (fingerprint, result dict, seconds)."""
-    started = time.monotonic()
-    result = simulate_cell(cell)
-    return cell.fingerprint, result.to_dict(), time.monotonic() - started
+def _pool_worker(cells: list[CampaignCell]) -> list[tuple[str, dict, float]]:
+    """Process-pool entry point: simulate a batch of same-workload cells.
+
+    Cells are batched by workload (see :func:`_workload_batches`) so that each worker
+    captures the architectural trace once per workload and replays it for every
+    configuration in the batch.
+    """
+    out: list[tuple[str, dict, float]] = []
+    for cell in cells:
+        started = time.monotonic()
+        result = simulate_cell(cell)
+        out.append((cell.fingerprint, result.to_dict(), time.monotonic() - started))
+    return out
 
 
 @dataclass
@@ -158,17 +182,42 @@ def run_campaign(
     return outcome
 
 
+def _workload_batches(pending: list, workers: int) -> list[list]:
+    """Group cells by workload, splitting batches only to fill idle workers.
+
+    Keeping same-workload cells on one worker lets its trace cache emulate the
+    workload once and replay it per configuration; when there are fewer workloads than
+    workers the largest batches are halved until the pool is saturated (a split batch
+    costs one extra capture, which the parallelism more than repays).
+    """
+    groups: dict[tuple, list] = {}
+    for cell in pending:
+        groups.setdefault((cell.workload_name, cell.max_uops), []).append(cell)
+    batches = sorted(groups.values(), key=len, reverse=True)
+    target = min(workers, len(pending))
+    while len(batches) < target:
+        batches.sort(key=len, reverse=True)
+        largest = batches[0]
+        if len(largest) <= 1:
+            break
+        middle = len(largest) // 2
+        batches[0] = largest[:middle]
+        batches.append(largest[middle:])
+    return batches
+
+
 def _run_sharded(pending, workers: int, complete) -> None:
-    """Fan ``pending`` cells out over a process pool, checkpointing as each lands."""
+    """Fan ``pending`` cells out over a process pool, checkpointing as batches land."""
     by_fingerprint = {cell.fingerprint: cell for cell in pending}
-    with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-        futures = {pool.submit(_pool_worker, cell) for cell in pending}
+    batches = _workload_batches(pending, workers)
+    with ProcessPoolExecutor(max_workers=min(workers, len(batches))) as pool:
+        futures = {pool.submit(_pool_worker, batch) for batch in batches}
         while futures:
             finished, futures = wait(futures, return_when=FIRST_COMPLETED)
             for future in finished:
-                fingerprint, result_dict, seconds = future.result()
-                cell = by_fingerprint[fingerprint]
-                complete(cell, SimulationResult.from_dict(result_dict), seconds)
+                for fingerprint, result_dict, seconds in future.result():
+                    cell = by_fingerprint[fingerprint]
+                    complete(cell, SimulationResult.from_dict(result_dict), seconds)
 
 
 def campaign_status(campaign: Campaign, store: ResultStore | None) -> dict:

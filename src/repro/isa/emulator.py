@@ -100,6 +100,12 @@ class Emulator:
         self.pc = 0
         self.seq = 0
         self.halted = False
+        # Hot-path views of the resolved program (µ-ops and immediates are indexed
+        # once per executed µ-op; going through the Program accessors costs a method
+        # call plus a resolution check each).
+        self._uops = program.uops
+        self._imms = program._imm_values
+        self._length = len(program.uops)
 
     # ------------------------------------------------------------------ helpers
     def _branch_condition(self, opcode: Opcode, flags: int) -> bool:
@@ -126,18 +132,20 @@ class Emulator:
         """Execute one µ-op and return its dynamic record, or ``None`` once halted."""
         if self.halted:
             return None
-        if not 0 <= self.pc < len(self.program):
+        pc = self.pc
+        if not 0 <= pc < self._length:
             self.halted = True
             return None
 
         program = self.program
         state = self.state
-        pc = self.pc
-        uop = program[pc]
+        arch_regs = state.regs
+        uop = self._uops[pc]
         opcode = uop.opcode
-        imm = program.immediate_of(pc)
+        imm = self._imms[pc]
 
-        src_values = tuple(state.read_reg(s) for s in uop.srcs)
+        srcs = uop.srcs
+        src_values = tuple(arch_regs[s] for s in srcs)
         result: int | None = None
         flags_result: int | None = None
         flags_in: int | None = None
@@ -238,7 +246,7 @@ class Emulator:
             store_value = src_values[1] if len(src_values) > 1 else 0
             state.write_mem(addr, store_value)
         elif uop.is_conditional_branch:
-            flags_in = state.read_reg(regs.FLAGS_REG)
+            flags_in = arch_regs[regs.FLAGS_REG]
             taken = self._branch_condition(opcode, flags_in)
             target = program.target_of(pc)
             if target is None:
@@ -274,25 +282,25 @@ class Emulator:
             raise EmulationError(f"unimplemented opcode {opcode}")
 
         if result is not None and uop.dst is not None:
-            state.write_reg(uop.dst, result)
+            arch_regs[uop.dst] = result & MASK64
         if flags_result is not None:
-            state.write_reg(regs.FLAGS_REG, flags_result)
+            arch_regs[regs.FLAGS_REG] = flags_result & MASK64
 
         inst = DynInst(
-            seq=self.seq,
-            pc=pc,
-            uop=uop,
-            src_values=src_values,
-            result=result,
-            flags_result=flags_result,
-            flags_in=flags_in,
-            addr=addr,
-            store_value=store_value,
-            taken=taken,
-            next_pc=next_pc,
+            self.seq,
+            pc,
+            uop,
+            src_values,
+            result,
+            flags_result,
+            flags_in,
+            addr,
+            store_value,
+            taken,
+            next_pc,
         )
         self.seq += 1
-        if next_pc == HALT_PC or not 0 <= next_pc < len(program):
+        if next_pc == HALT_PC or not 0 <= next_pc < self._length:
             self.halted = True
             self.pc = HALT_PC
         else:

@@ -85,6 +85,14 @@ class MicroOp:
     imm_label: str | None = None
     comment: str = field(default="", compare=False)
 
+    # Derived classification (``opclass``, ``latency``, ``is_branch``,
+    # ``is_conditional_branch``, ``is_load``, ``is_store``, ``is_memory``,
+    # ``is_single_cycle_alu``, ``reads_flags``, ``writes_flags``, ``vp_eligible``) is
+    # precomputed once per *static* µ-op in ``__post_init__`` as plain instance
+    # attributes — deliberately not dataclass fields nor properties, so they do not
+    # participate in equality/hashing yet cost a single attribute load on the
+    # simulator's per-dynamic-instance hot paths.
+
     def __post_init__(self) -> None:
         for reg in self.srcs:
             if not regs.is_valid_reg(reg):
@@ -97,84 +105,43 @@ class MicroOp:
             raise ProgramError(f"{self.opcode.value}: unexpected branch target label")
         if self.opcode is Opcode.CMP and not self.sets_flags:
             object.__setattr__(self, "sets_flags", True)
-        if self.sets_flags and self.opclass not in (
+        opclass = opclass_of(self.opcode)
+        if self.sets_flags and opclass not in (
             OpClass.INT_ALU,
             OpClass.INT_MUL,
             OpClass.INT_DIV,
         ):
             raise ProgramError(f"{self.opcode.value}: only integer µ-ops may set flags")
-
-    # ------------------------------------------------------------------ properties
-    @property
-    def opclass(self) -> OpClass:
-        """Operation class (scheduling / FU / EOLE-eligibility class)."""
-        return opclass_of(self.opcode)
-
-    @property
-    def latency(self) -> int:
-        """Fixed execution latency in cycles (loads: address generation only)."""
-        return latency_of(self.opcode)
-
-    @property
-    def is_branch(self) -> bool:
-        """True for any control-flow µ-op."""
-        return is_branch(self.opcode)
-
-    @property
-    def is_conditional_branch(self) -> bool:
-        """True for conditional branches."""
-        return is_conditional_branch(self.opcode)
-
-    @property
-    def is_load(self) -> bool:
-        """True for loads."""
-        return is_load(self.opcode)
-
-    @property
-    def is_store(self) -> bool:
-        """True for stores."""
-        return is_store(self.opcode)
-
-    @property
-    def is_memory(self) -> bool:
-        """True for loads and stores."""
-        return is_memory(self.opcode)
-
-    @property
-    def is_single_cycle_alu(self) -> bool:
-        """True for single-cycle ALU µ-ops (Early/Late-Execution candidates)."""
-        return is_single_cycle_alu(self.opcode)
-
-    @property
-    def reads_flags(self) -> bool:
-        """True if this µ-op sources the architectural flags register."""
-        return self.is_conditional_branch
-
-    @property
-    def writes_flags(self) -> bool:
-        """True if this µ-op writes the architectural flags register."""
-        return self.sets_flags
-
-    @property
-    def vp_eligible(self) -> bool:
-        """Value-prediction eligibility per Section 4.2 (produces a readable result)."""
-        return self.dst is not None
+        # Precompute the per-static-µ-op classification consumed by the hot loops.
+        set_attr = object.__setattr__
+        set_attr(self, "opclass", opclass)
+        set_attr(self, "latency", latency_of(self.opcode))
+        set_attr(self, "is_branch", is_branch(self.opcode))
+        set_attr(self, "is_conditional_branch", is_conditional_branch(self.opcode))
+        set_attr(self, "is_load", is_load(self.opcode))
+        set_attr(self, "is_store", is_store(self.opcode))
+        set_attr(self, "is_memory", is_memory(self.opcode))
+        set_attr(self, "is_single_cycle_alu", is_single_cycle_alu(self.opcode))
+        set_attr(self, "reads_flags", self.is_conditional_branch)
+        set_attr(self, "writes_flags", self.sets_flags)
+        set_attr(self, "vp_eligible", self.dst is not None)
+        sources = self.srcs + (regs.FLAGS_REG,) if self.reads_flags else self.srcs
+        set_attr(self, "_source_registers", sources)
+        destinations: tuple[int, ...] = ()
+        if self.dst is not None:
+            destinations += (self.dst,)
+        if self.writes_flags:
+            destinations += (regs.FLAGS_REG,)
+        set_attr(self, "_destination_registers", destinations)
 
     # ------------------------------------------------------------------ helpers
     def source_registers(self) -> tuple[int, ...]:
         """All architectural registers read by this µ-op, including implicit flags."""
-        if self.reads_flags:
-            return self.srcs + (regs.FLAGS_REG,)
-        return self.srcs
+        return self._source_registers
 
     def destination_registers(self) -> tuple[int, ...]:
         """All architectural registers written by this µ-op, including implicit flags."""
-        dsts: tuple[int, ...] = ()
-        if self.dst is not None:
-            dsts += (self.dst,)
-        if self.writes_flags:
-            dsts += (regs.FLAGS_REG,)
-        return dsts
+        return self._destination_registers
 
     def __str__(self) -> str:
         parts = [self.opcode.value]

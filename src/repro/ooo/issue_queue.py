@@ -91,5 +91,86 @@ class IssueQueue:
         self._entries = remaining
         return selected
 
+    def select_ready(
+        self,
+        cycle: int,
+        issue_width: int,
+        fu_pool: FunctionalUnitPool,
+        dispatch_to_issue_latency: int,
+    ) -> list[InflightOp]:
+        """The pipeline's hot-path select: :meth:`select` with the simulator's
+        readiness and latency rules inlined.
+
+        Semantically identical to calling :meth:`select` with the simulator's
+        ``_is_ready``/``_execution_latency`` callbacks; inlining the per-entry
+        readiness walk (operand wake-up against producer completion times, store-set
+        memory dependences) avoids several function calls per waiting µ-op per cycle.
+        """
+        entries = self._entries
+        if not entries or issue_width <= 0:
+            return []
+        selected: list[InflightOp] = []
+        remaining: list[InflightOp] = []
+        append_remaining = remaining.append
+        try_issue = fu_pool.try_issue
+        width_left = issue_width
+        for position, op in enumerate(entries):
+            if width_left == 0:
+                # Width exhausted: the untouched tail (squashed entries included,
+                # matching select()) stays in dispatch order.
+                remaining.extend(entries[position:])
+                break
+            if op.squashed:
+                continue
+            if cycle < op.dispatch_cycle + dispatch_to_issue_latency:
+                append_remaining(op)
+                continue
+            ready = True
+            for producer in op.producers:
+                if producer is None:
+                    continue
+                if producer.pred_used or producer.early_executed:
+                    available = producer.dispatch_cycle
+                else:
+                    available = producer.complete_cycle
+                if available == UNKNOWN_CYCLE or available > cycle:
+                    ready = False
+                    break
+            if not ready:
+                append_remaining(op)
+                continue
+            uop = op.uop
+            if uop.is_load:
+                dependence = op.mem_dependence
+                if dependence is not None and not dependence.squashed and not dependence.issued:
+                    append_remaining(op)
+                    continue
+            if not try_issue(uop.opclass, cycle, uop.latency):
+                append_remaining(op)
+                continue
+            op.issued = True
+            op.issue_cycle = cycle
+            op.in_issue_queue = False
+            selected.append(op)
+            width_left -= 1
+        self._entries = remaining
+        return selected
+
+    def next_maturity_cycle(self, cycle: int, dispatch_to_issue_latency: int) -> int | None:
+        """Earliest future cycle at which a currently-immature entry matures.
+
+        Used by the simulator's issue-scan gating: an entry dispatched at ``D``
+        cannot be selected before ``D + dispatch_to_issue_latency``, which is a
+        wake-up deadline no pipeline *event* announces — so a scan that found
+        nothing must re-arm on it explicitly.  Returns ``None`` when every entry is
+        already past its dispatch-to-issue latency.
+        """
+        next_cycle: int | None = None
+        for op in self._entries:
+            mature_at = op.dispatch_cycle + dispatch_to_issue_latency
+            if mature_at > cycle and (next_cycle is None or mature_at < next_cycle):
+                next_cycle = mature_at
+        return next_cycle
+
     def __iter__(self):
         return iter(self._entries)

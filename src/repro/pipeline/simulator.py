@@ -26,7 +26,7 @@ scheduling) and their justification.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.bpu.btb import BranchTargetBuffer, ReturnAddressStack
 from repro.bpu.history import GlobalHistory
@@ -50,6 +50,7 @@ from repro.ooo.rob import ReorderBuffer
 from repro.ooo.store_sets import StoreSets
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.stats import SimStats, SimulationResult
+from repro.trace.encoding import CapturedTrace
 
 
 class Simulator:
@@ -67,6 +68,7 @@ class Simulator:
         warmup_uops: int = 0,
         arch_state: ArchState | None = None,
         workload_name: str | None = None,
+        trace: "CapturedTrace | Iterable[DynInst] | None" = None,
     ) -> None:
         if warmup_uops >= max_uops:
             raise SimulationError("warmup_uops must be smaller than max_uops")
@@ -77,9 +79,17 @@ class Simulator:
         self.workload_name = workload_name if workload_name is not None else program.name
 
         # Architectural trace source.  Fetch runs ahead of commit by at most the ROB
-        # plus the front-end, so a bounded-slack emulator limit is sufficient.
-        emulator_budget = max_uops + config.rob_size + config.frontend_capacity + 64
-        self._trace: Iterator[DynInst] = Emulator(program, state=arch_state).run(emulator_budget)
+        # plus the front-end, so a bounded-slack emulator limit is sufficient.  A
+        # pre-captured trace (repro.trace) replaces the inline emulator entirely; it
+        # must cover at least the same bounded-slack window to be bit-equivalent.
+        if trace is not None:
+            if isinstance(trace, CapturedTrace):
+                self._trace: Iterator[DynInst] = trace.replay()
+            else:
+                self._trace = iter(trace)
+        else:
+            emulator_budget = max_uops + config.rob_size + config.frontend_capacity + 64
+            self._trace = Emulator(program, state=arch_state).run(emulator_budget)
         self._trace_exhausted = False
         self._replay: deque[DynInst] = deque()
 
@@ -112,6 +122,23 @@ class Simulator:
         )
         self.early_block = EarlyExecutionBlock(config.eole.early)
         self.late_block = LateExecutionBlock(config.eole.late)
+
+        # Derived constants hoisted out of the per-cycle loops.
+        self._commit_extra = config.writeback_to_commit_latency + (
+            1 if config.has_levt_stage else 0
+        )
+        self._levt_ports_limited = (
+            config.has_levt_stage and config.levt_read_ports_per_bank is not None
+        )
+
+        # Issue-scan gating: IQ readiness only changes on discrete events — a
+        # completion firing, a dispatched entry maturing past dispatch_to_issue
+        # latency, a squash flipping dependence flags, or functional-unit/width
+        # pressure from a previous scan.  ``_iq_scan_from`` is the earliest cycle at
+        # which a select could find new work; scans before it are provably empty and
+        # are skipped (bit-identical: a skipped scan mutates no state and counts no
+        # statistics, exactly like an empty walk).
+        self._iq_scan_from = 0
 
         # Pipeline state.
         self.cycle = 0
@@ -163,6 +190,9 @@ class Simulator:
         ops = self._completions.pop(self.cycle, None)
         if not ops:
             return
+        if self.cycle < self._iq_scan_from:
+            # Completed producers may wake IQ entries this very cycle.
+            self._iq_scan_from = self.cycle
         for op in ops:
             if op.squashed:
                 continue
@@ -191,27 +221,31 @@ class Simulator:
     def _commit(self) -> None:
         committed = 0
         late_alus_used = 0
+        cycle = self.cycle
+        commit_extra = self._commit_extra
+        late_alu_limit = self.late_block.config.alus
+        rob = self.rob
         while committed < self.config.commit_width:
-            op = self.rob.head()
+            op = rob.head()
             if op is None:
                 break
             if not op.executed:
                 break
-            if self.cycle < self._minimum_commit_cycle(op):
+            if cycle < op.complete_cycle + commit_extra:
                 break
             if op.late_executed:
-                if late_alus_used >= self.late_block.config.alus:
+                if late_alus_used >= late_alu_limit:
                     self.stats.late_alu_stalls += 1
                     break
-            if self.config.has_levt_stage and self.config.levt_read_ports_per_bank is not None:
+            if self._levt_ports_limited:
                 banks = self.late_block.levt_read_banks(op)
-                if not self.prf.try_levt_reads(banks, self.cycle):
+                if not self.prf.try_levt_reads(banks, cycle):
                     self.stats.levt_port_stalls += 1
                     break
 
             # The µ-op retires this cycle.
-            self.rob.pop_head()
-            op.commit_cycle = self.cycle
+            rob.pop_head()
+            op.commit_cycle = cycle
             committed += 1
             if op.late_executed:
                 late_alus_used += 1
@@ -330,16 +364,39 @@ class Simulator:
     def _execution_latency(self, op: InflightOp) -> int:
         return op.uop.latency
 
+    #: Sentinel for "no known future event can make an IQ entry ready".
+    _NEVER = 1 << 62
+
     def _issue(self) -> None:
-        selected = self.iq.select(
-            self.cycle,
+        cycle = self.cycle
+        if cycle < self._iq_scan_from:
+            return
+        # ``select_ready`` inlines the ``_is_ready``/``_execution_latency`` rules
+        # above (kept as the reference implementation) into the IQ walk.
+        fu_pool = self.fu_pool
+        rejects_before = fu_pool.structural_rejects
+        selected = self.iq.select_ready(
+            cycle,
             self.config.issue_width,
-            self.fu_pool,
-            self._is_ready,
-            self._execution_latency,
+            fu_pool,
+            self.config.dispatch_to_issue_latency,
         )
-        for op in selected:
-            self._start_execution(op)
+        if selected:
+            # Issuing frees width/units next cycle and resolves mem dependences.
+            self._iq_scan_from = cycle + 1
+            for op in selected:
+                self._start_execution(op)
+        elif fu_pool.structural_rejects != rejects_before:
+            # A ready µ-op lost its functional unit; retry when the pool resets.
+            self._iq_scan_from = cycle + 1
+        else:
+            # Nothing can issue until an event (completion/dispatch/squash) fires —
+            # except entries still inside the dispatch-to-issue latency, whose
+            # maturity is a known deadline no event announces.  Re-arm on it.
+            mature_at = self.iq.next_maturity_cycle(
+                cycle, self.config.dispatch_to_issue_latency
+            )
+            self._iq_scan_from = mature_at if mature_at is not None else self._NEVER
 
     def _start_execution(self, op: InflightOp) -> None:
         uop = op.uop
@@ -360,41 +417,82 @@ class Simulator:
 
     # ================================================================== rename / dispatch
     def _dispatch(self) -> None:
+        cycle = self.cycle
+        frontend = self._frontend
+        if not frontend or frontend[0].dispatch_ready_cycle > cycle:
+            self._previous_dispatch_group = []
+            return
         config = self.config
+        rename_width = config.rename_width
+        multi_bank = config.prf_banks > 1
+        rename_map = self._rename_map
+        rob = self.rob
+        lsq = self.lsq
+        prf = self.prf
+        stats = self.stats
         group: list[InflightOp] = []
         # Phase A/B: pull dispatch-ready µ-ops, rename them against a local overlay.
         local_map: dict[int, InflightOp] = {}
         while (
-            len(group) < config.rename_width
-            and self._frontend
-            and self._frontend[0].dispatch_ready_cycle <= self.cycle
+            len(group) < rename_width
+            and frontend
+            and frontend[0].dispatch_ready_cycle <= cycle
         ):
-            op = self._frontend[0]
-            reason = self._structural_space_for_op(op)
-            if reason is not None:
-                self._count_dispatch_stall(reason)
+            op = frontend[0]
+            uop = op.uop
+            # Structural space checks (see _structural_space_for_op, kept as the
+            # reference implementation).
+            if not rob.has_space():
+                stats.rob_full_stalls += 1
                 break
-            self._frontend.popleft()
-            producers = tuple(
-                local_map.get(reg, self._rename_map.get(reg))
-                for reg in op.uop.source_registers()
-            )
+            if uop.is_memory and not lsq.has_space(op):
+                stats.lsq_full_stalls += 1
+                break
+            if uop.dst is not None and multi_bank and not prf.can_allocate():
+                stats.prf_bank_stalls += 1
+                prf.record_bank_full_stall()
+                break
+            frontend.popleft()
+            # Rename against the local overlay first, then the global map (unrolled
+            # for the dominant 0/1/2-source shapes; local_map never stores None).
+            sources = uop.source_registers()
+            if not sources:
+                producers: tuple[InflightOp | None, ...] = ()
+            elif len(sources) == 1:
+                reg = sources[0]
+                producer = local_map.get(reg)
+                if producer is None:
+                    producer = rename_map.get(reg)
+                producers = (producer,)
+            elif len(sources) == 2:
+                reg_a, reg_b = sources
+                producer_a = local_map.get(reg_a)
+                if producer_a is None:
+                    producer_a = rename_map.get(reg_a)
+                producer_b = local_map.get(reg_b)
+                if producer_b is None:
+                    producer_b = rename_map.get(reg_b)
+                producers = (producer_a, producer_b)
+            else:
+                producers = tuple(
+                    local_map.get(reg, rename_map.get(reg)) for reg in sources
+                )
             op.producers = producers
-            for dst in op.uop.destination_registers():
+            for dst in uop.destination_registers():
                 local_map[dst] = op
-                self._rename_map[dst] = op
+                rename_map[dst] = op
             group.append(op)
             # Structural allocation happens immediately so the next iteration's space
             # checks see it (ROB/LSQ/PRF are per-µ-op resources, not per-group).
-            self.rob.push(op)
-            if op.uop.is_memory:
-                self.lsq.insert(op)
-            if op.uop.dst is not None:
-                op.dest_bank = self.prf.next_bank()
-                self.prf.allocate()
+            rob.push(op)
+            if uop.is_memory:
+                lsq.insert(op)
+            if uop.dst is not None:
+                op.dest_bank = prf.next_bank()
+                prf.allocate()
             else:
-                self.prf.advance_without_allocation()
-            op.dispatch_cycle = self.cycle
+                prf.advance_without_allocation()
+            op.dispatch_cycle = cycle
 
         if not group:
             self._previous_dispatch_group = []
@@ -405,32 +503,39 @@ class Simulator:
             self.early_block.plan(group, self._previous_dispatch_group)
 
         # Phase D/E: Late-Execution classification, IQ insertion and port accounting.
+        late_enabled = config.eole.late.enabled
+        late_block = self.late_block
+        iq = self.iq
+        store_sets = self.store_sets
+        nop_class = OpClass.NOP
         for op in group:
             uop = op.uop
-            if config.eole.late.enabled:
-                self.late_block.classify(op)
-            writes_prediction_or_ee = (op.pred_used or op.early_executed) and uop.dst is not None
-            if writes_prediction_or_ee:
-                if not self.prf.try_ee_write(op.dest_bank, self.cycle):
+            if late_enabled:
+                late_block.classify(op)
+            if (op.pred_used or op.early_executed) and uop.dst is not None:
+                if not prf.try_ee_write(op.dest_bank, cycle):
                     # Port pressure delays the write by a cycle; modelled as a slight
                     # dispatch-side stall statistic rather than a structural replay.
-                    self.stats.ee_write_port_stalls += 1
-            if op.early_executed or op.late_executed or uop.opclass is OpClass.NOP:
+                    stats.ee_write_port_stalls += 1
+            if op.early_executed or op.late_executed or uop.opclass is nop_class:
                 # Bypasses the OoO engine entirely (or needs no execution at all).
                 op.complete_cycle = op.dispatch_cycle
                 op.executed = True
             else:
-                if not self.iq.has_space():
-                    self.stats.iq_full_stalls += 1
+                if not iq.has_space():
+                    stats.iq_full_stalls += 1
                     self._rollback_undispatched(group, group.index(op))
                     group = group[: group.index(op)]
                     break
-                self.iq.insert(op)
-                self.stats.dispatched_to_iq += 1
+                iq.insert(op)
+                stats.dispatched_to_iq += 1
+                wake = cycle + config.dispatch_to_issue_latency
+                if wake < self._iq_scan_from:
+                    self._iq_scan_from = wake
             if uop.is_load:
-                op.mem_dependence = self.store_sets.dependence_for_load(op)
+                op.mem_dependence = store_sets.dependence_for_load(op)
             elif uop.is_store:
-                self.store_sets.register_store(op)
+                store_sets.register_store(op)
 
         self._previous_dispatch_group = group
 
@@ -498,52 +603,74 @@ class Simulator:
         config = self.config
         if self._fetch_blocked_on is not None:
             return
-        if self.cycle < self._fetch_resume_cycle:
+        cycle = self.cycle
+        if cycle < self._fetch_resume_cycle:
             return
-        if len(self._frontend) >= config.frontend_capacity:
+        frontend = self._frontend
+        if len(frontend) >= config.frontend_capacity:
             return
+        fetch_width = config.fetch_width
+        max_taken = config.max_taken_branches_per_cycle
+        l1i_latency = config.memory.l1i_latency
+        fetch_to_dispatch = config.fetch_to_dispatch_latency
+        hierarchy_fetch = self.hierarchy.fetch
+        bpu_predict = self.bpu.predict
+        history = self.history
+        predictor = self.predictor
+        stats = self.stats
+        replay = self._replay
         fetched = 0
         taken_branches = 0
-        while fetched < config.fetch_width:
-            dyn = self._next_dyninst()
-            if dyn is None:
+        while fetched < fetch_width:
+            # Inlined _next_dyninst (kept below as the reference implementation).
+            if replay:
+                dyn = replay.popleft()
+            elif self._trace_exhausted:
                 break
-            if dyn.uop.is_branch and dyn.taken and taken_branches >= config.max_taken_branches_per_cycle:
-                self._push_back_dyninst(dyn)
+            else:
+                try:
+                    dyn = next(self._trace)
+                except StopIteration:
+                    self._trace_exhausted = True
+                    break
+            uop = dyn.uop
+            is_branch = uop.is_branch
+            if is_branch and dyn.taken and taken_branches >= max_taken:
+                replay.appendleft(dyn)
                 break
-            icache_latency = self.hierarchy.fetch(dyn.pc, self.cycle)
-            if icache_latency > config.memory.l1i_latency:
+            icache_latency = hierarchy_fetch(dyn.pc, cycle)
+            if icache_latency > l1i_latency:
                 # Instruction cache miss: fetch stalls until the line returns.
-                self._push_back_dyninst(dyn)
-                self._fetch_resume_cycle = self.cycle + icache_latency
+                replay.appendleft(dyn)
+                self._fetch_resume_cycle = cycle + icache_latency
                 break
 
             op = InflightOp(dyn)
-            op.fetch_cycle = self.cycle
-            op.dispatch_ready_cycle = self.cycle + config.fetch_to_dispatch_latency
-            op.history_snapshot = self.history.snapshot()
-            self.stats.fetched_uops += 1
+            op.fetch_cycle = cycle
+            op.dispatch_ready_cycle = cycle + fetch_to_dispatch
+            op.history_snapshot = history.snapshot()
+            stats.fetched_uops += 1
 
-            if self.predictor is not None and dyn.uop.vp_eligible:
-                prediction = self.predictor.lookup(dyn.pc, self.history)
+            if predictor is not None and uop.vp_eligible:
+                prediction = predictor.lookup(dyn.pc, history)
                 op.prediction = prediction
                 op.pred_used = prediction is not None and prediction.confident
 
             stop_fetching = False
-            if dyn.uop.is_branch:
+            if is_branch:
                 if dyn.taken:
                     taken_branches += 1
-                outcome = self.bpu.predict(dyn)
+                outcome = bpu_predict(dyn)
                 op.branch_outcome = outcome
-                if outcome.mispredicted:
+                if outcome.direction_mispredicted or outcome.target_mispredicted:
                     self._fetch_blocked_on = op
                     stop_fetching = True
                 elif outcome.resolved_at_decode:
-                    self.stats.decode_redirects += 1
-                    self._fetch_resume_cycle = self.cycle + config.decode_redirect_penalty
+                    stats.decode_redirects += 1
+                    self._fetch_resume_cycle = cycle + config.decode_redirect_penalty
                     stop_fetching = True
 
-            self._frontend.append(op)
+            frontend.append(op)
             fetched += 1
             if stop_fetching:
                 break
@@ -573,6 +700,9 @@ class Simulator:
         self.store_sets.flush_lfst()
         self._rebuild_rename_map()
         self._previous_dispatch_group = []
+        # Squashing flips dependence flags: surviving loads may now be ready.
+        if self.cycle < self._iq_scan_from:
+            self._iq_scan_from = self.cycle
 
         # Re-feed the squashed µ-ops to fetch, oldest first.
         for op in reversed(squashed):
@@ -637,6 +767,7 @@ def simulate(
     warmup_uops: int = 0,
     arch_state: ArchState | None = None,
     workload_name: str | None = None,
+    trace: "CapturedTrace | Iterable[DynInst] | None" = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
     simulator = Simulator(
@@ -646,5 +777,6 @@ def simulate(
         warmup_uops=warmup_uops,
         arch_state=arch_state,
         workload_name=workload_name,
+        trace=trace,
     )
     return simulator.run()

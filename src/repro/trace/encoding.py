@@ -1,0 +1,302 @@
+"""Compact columnar encoding of a committed µ-op trace.
+
+A :class:`CapturedTrace` stores the dynamic fields of a committed
+:class:`~repro.isa.trace.DynInst` stream as parallel typed arrays (one column per
+field) instead of one Python object per µ-op.  Static fields are *interned*: a dynamic
+record stores only its static PC, and the µ-op itself is recovered from the owning
+:class:`~repro.isa.program.Program` at replay time.  Optional columns (result, flags,
+address, store value) are stored sparsely — a one-byte presence flag per µ-op plus a
+dense value array holding only the present entries.
+
+Replay is lazy: :meth:`CapturedTrace.instructions` materialises the ``DynInst`` tuple
+once per trace and caches it, so every simulation replaying the same capture shares the
+same (immutable, never-mutated-by-the-pipeline) ``DynInst`` objects with zero copying.
+
+The same columns serialise to a flat binary blob (:meth:`CapturedTrace.to_bytes` /
+:meth:`CapturedTrace.from_bytes`) for the on-disk trace store
+(:mod:`repro.trace.store`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from array import array
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.isa.program import Program
+from repro.isa.trace import DynInst
+
+#: Bump whenever the binary layout (or the semantics of a column) changes; stored
+#: traces with a different version are ignored by the store.
+TRACE_FORMAT_VERSION = 1
+
+#: Optional (sparse) DynInst columns, in serialisation order.
+_OPTIONAL_FIELDS = ("result", "flags_result", "flags_in", "addr", "store_value")
+
+
+class TraceEncodingError(ReproError):
+    """A trace blob could not be decoded (corrupt, wrong version, wrong program)."""
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content hash identifying a program's static µ-op stream (the intern table).
+
+    Two programs share a fingerprint iff replaying a trace captured from one against
+    the other reconstitutes identical ``DynInst`` records, so the fingerprint is the
+    key of the on-disk trace store.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(program.name.encode())
+    for pc, uop in enumerate(program.uops):
+        hasher.update(f"{pc}:{uop}\n".encode())
+    for label in sorted(program.labels):
+        hasher.update(f"@{label}={program.labels[label]}\n".encode())
+    return hasher.hexdigest()
+
+
+class CapturedTrace:
+    """One workload's committed µ-op stream in columnar form.
+
+    Attributes
+    ----------
+    program:
+        The program the trace was captured from (owns the interned static µ-ops).
+    length:
+        Number of dynamic µ-ops captured.
+    halted:
+        True when the program ran to completion within the capture budget — the trace
+        is the *entire* committed stream and satisfies any replay length requirement.
+    budget:
+        The capture budget (µ-ops) the emulator ran with.
+    """
+
+    __slots__ = (
+        "program",
+        "length",
+        "halted",
+        "budget",
+        "fingerprint",
+        "_pcs",
+        "_next_pcs",
+        "_taken",
+        "_src_offsets",
+        "_src_values",
+        "_presence",
+        "_values",
+        "_insts",
+    )
+
+    def __init__(
+        self,
+        program: Program,
+        pcs: array,
+        next_pcs: array,
+        taken: bytearray,
+        src_offsets: array,
+        src_values: array,
+        presence: dict[str, bytearray],
+        values: dict[str, array],
+        halted: bool,
+        budget: int,
+        fingerprint: str | None = None,
+    ) -> None:
+        self.program = program
+        self.length = len(pcs)
+        self.halted = halted
+        self.budget = budget
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else program_fingerprint(program)
+        )
+        self._pcs = pcs
+        self._next_pcs = next_pcs
+        self._taken = taken
+        self._src_offsets = src_offsets
+        self._src_values = src_values
+        self._presence = presence
+        self._values = values
+        self._insts: tuple[DynInst, ...] | None = None
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_instructions(
+        cls,
+        program: Program,
+        instructions: Iterable[DynInst],
+        halted: bool,
+        budget: int,
+    ) -> "CapturedTrace":
+        """Encode a committed ``DynInst`` stream into columns."""
+        pcs = array("i")
+        next_pcs = array("i")
+        taken = bytearray()
+        src_offsets = array("I", [0])
+        src_values = array("Q")
+        presence = {name: bytearray() for name in _OPTIONAL_FIELDS}
+        values = {name: array("Q") for name in _OPTIONAL_FIELDS}
+        instructions = tuple(instructions)
+        for inst in instructions:
+            pcs.append(inst.pc)
+            next_pcs.append(inst.next_pc)
+            taken.append(1 if inst.taken else 0)
+            src_values.extend(inst.src_values)
+            src_offsets.append(len(src_values))
+            for name in _OPTIONAL_FIELDS:
+                value = getattr(inst, name)
+                if value is None:
+                    presence[name].append(0)
+                else:
+                    presence[name].append(1)
+                    values[name].append(value)
+        trace = cls(
+            program, pcs, next_pcs, taken, src_offsets, src_values, presence, values,
+            halted=halted, budget=budget,
+        )
+        # The capture already holds the materialised stream — seed the replay cache so
+        # the first in-process replay does not pay a decode (decoding still happens,
+        # and is tested, for traces loaded from the on-disk store).
+        trace._insts = instructions
+        return trace
+
+    # ------------------------------------------------------------------ replay
+    def instructions(self) -> tuple[DynInst, ...]:
+        """Materialise (once) and return the decoded ``DynInst`` stream.
+
+        The tuple is cached on the trace: every simulation replaying this capture
+        shares the same ``DynInst`` objects (the timing pipeline never mutates them).
+        """
+        if self._insts is None:
+            self._insts = tuple(self._decode())
+        return self._insts
+
+    def replay(self) -> Iterator[DynInst]:
+        """A fresh iterator over the committed stream (what the simulator consumes)."""
+        return iter(self.instructions())
+
+    def _decode(self) -> Iterator[DynInst]:
+        uops = self.program.uops
+        pcs = self._pcs
+        next_pcs = self._next_pcs
+        taken = self._taken
+        src_offsets = self._src_offsets
+        src_values = self._src_values
+        presence = [self._presence[name] for name in _OPTIONAL_FIELDS]
+        values = [self._values[name] for name in _OPTIONAL_FIELDS]
+        cursors = [0] * len(_OPTIONAL_FIELDS)
+        for seq in range(self.length):
+            optional: list[int | None] = []
+            for column in range(len(_OPTIONAL_FIELDS)):
+                if presence[column][seq]:
+                    optional.append(values[column][cursors[column]])
+                    cursors[column] += 1
+                else:
+                    optional.append(None)
+            pc = pcs[seq]
+            yield DynInst(
+                seq=seq,
+                pc=pc,
+                uop=uops[pc],
+                src_values=tuple(src_values[src_offsets[seq] : src_offsets[seq + 1]]),
+                result=optional[0],
+                flags_result=optional[1],
+                flags_in=optional[2],
+                addr=optional[3],
+                store_value=optional[4],
+                taken=bool(taken[seq]),
+                next_pc=next_pcs[seq],
+            )
+
+    def covers(self, required_length: int) -> bool:
+        """True if replaying this trace is equivalent to emulating ``required_length``.
+
+        A complete (halted) trace covers any requirement; a budget-truncated one only
+        covers requirements within its capture budget.
+        """
+        return self.halted or self.length >= required_length
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ------------------------------------------------------------------ serialisation
+    def to_bytes(self) -> bytes:
+        """Serialise header + columns into one binary blob (for the on-disk store)."""
+        columns: list[bytes] = [
+            self._pcs.tobytes(),
+            self._next_pcs.tobytes(),
+            bytes(self._taken),
+            self._src_offsets.tobytes(),
+            self._src_values.tobytes(),
+        ]
+        for name in _OPTIONAL_FIELDS:
+            columns.append(bytes(self._presence[name]))
+            columns.append(self._values[name].tobytes())
+        header = json.dumps(
+            {
+                "format": TRACE_FORMAT_VERSION,
+                "byteorder": sys.byteorder,
+                "program": self.fingerprint,
+                "program_name": self.program.name,
+                "length": self.length,
+                "halted": self.halted,
+                "budget": self.budget,
+                "column_bytes": [len(column) for column in columns],
+            },
+            sort_keys=True,
+        ).encode()
+        return header + b"\n" + b"".join(columns)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, program: Program) -> "CapturedTrace":
+        """Decode a blob produced by :meth:`to_bytes` against ``program``.
+
+        Raises :class:`TraceEncodingError` on format/version/byte-order mismatch or if
+        the blob was captured from a different program.
+        """
+        newline = blob.find(b"\n")
+        if newline < 0:
+            raise TraceEncodingError("trace blob has no header")
+        try:
+            header = json.loads(blob[:newline])
+        except json.JSONDecodeError as error:
+            raise TraceEncodingError(f"corrupt trace header: {error}") from error
+        if header.get("format") != TRACE_FORMAT_VERSION:
+            raise TraceEncodingError(f"unsupported trace format {header.get('format')}")
+        if header.get("byteorder") != sys.byteorder:
+            raise TraceEncodingError("trace captured on a different byte order")
+        fingerprint = program_fingerprint(program)
+        if header.get("program") != fingerprint:
+            raise TraceEncodingError(
+                f"trace was captured from a different program "
+                f"({header.get('program_name')!r})"
+            )
+        payload = memoryview(blob)[newline + 1 :]
+        column_bytes = header["column_bytes"]
+        offsets = [0]
+        for size in column_bytes:
+            offsets.append(offsets[-1] + size)
+        if offsets[-1] != len(payload):
+            raise TraceEncodingError("trace blob is truncated")
+        chunks = [payload[offsets[i] : offsets[i + 1]] for i in range(len(column_bytes))]
+
+        def as_array(typecode: str, chunk: memoryview) -> array:
+            out = array(typecode)
+            out.frombytes(chunk)
+            return out
+
+        pcs = as_array("i", chunks[0])
+        next_pcs = as_array("i", chunks[1])
+        taken = bytearray(chunks[2])
+        src_offsets = as_array("I", chunks[3])
+        src_values = as_array("Q", chunks[4])
+        presence: dict[str, bytearray] = {}
+        values: dict[str, array] = {}
+        for index, name in enumerate(_OPTIONAL_FIELDS):
+            presence[name] = bytearray(chunks[5 + 2 * index])
+            values[name] = as_array("Q", chunks[6 + 2 * index])
+        return cls(
+            program, pcs, next_pcs, taken, src_offsets, src_values, presence, values,
+            halted=bool(header["halted"]), budget=int(header["budget"]),
+            fingerprint=fingerprint,
+        )

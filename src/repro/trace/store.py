@@ -1,0 +1,77 @@
+"""Optional on-disk trace store (one binary file per captured trace).
+
+Lives alongside the campaign result store: point ``REPRO_TRACE_STORE`` at a directory
+and every trace capture lands on disk, so later processes (e.g. repeated benchmark
+sessions, CI runs restoring a cache) skip the emulation entirely.  Files are
+content-addressed by the program fingerprint — a workload whose kernel changes gets a
+new file automatically, and a stored trace is only reused when its blob round-trips
+against the *current* program (see :meth:`CapturedTrace.from_bytes`).
+
+A trace file is rewritten when a longer capture of the same program supersedes it (a
+configuration with a larger fetch-ahead window asked for more slack); the store keeps
+exactly one file per program.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.isa.program import Program
+from repro.trace.encoding import CapturedTrace, TraceEncodingError, program_fingerprint
+
+#: Environment variable naming the default on-disk trace store directory (opt-in).
+TRACE_STORE_ENV_VAR = "REPRO_TRACE_STORE"
+
+
+class TraceStore:
+    """A directory of captured traces, keyed by program fingerprint."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+
+    def _path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint[:32]}.trace"
+
+    def load(self, program: Program) -> CapturedTrace | None:
+        """The stored trace for ``program``, or ``None`` (missing, corrupt or stale)."""
+        path = self._path_for(program_fingerprint(program))
+        if not path.exists():
+            return None
+        try:
+            return CapturedTrace.from_bytes(path.read_bytes(), program)
+        except (TraceEncodingError, OSError):
+            return None
+
+    def save(self, trace: CapturedTrace) -> Path:
+        """Persist ``trace`` (atomically) and return its path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path_for(trace.fingerprint)
+        tmp_path = path.with_suffix(".tmp")
+        tmp_path.write_bytes(trace.to_bytes())
+        tmp_path.replace(path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.trace"))
+
+
+# ---------------------------------------------------------------- default store (env)
+_default_store: TraceStore | None = None
+_default_store_path: str | None = None
+
+
+def default_trace_store() -> TraceStore | None:
+    """The process-wide trace store named by ``REPRO_TRACE_STORE``, or ``None``."""
+    global _default_store, _default_store_path
+    path = os.environ.get(TRACE_STORE_ENV_VAR)
+    if not path:
+        _default_store = None
+        _default_store_path = None
+        return None
+    if _default_store is None or _default_store_path != path:
+        _default_store = TraceStore(path)
+        _default_store_path = path
+    return _default_store

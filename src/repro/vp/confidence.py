@@ -92,7 +92,7 @@ class DeterministicRandom:
 class FPCPolicy:
     """Shared policy (probability vector + PRNG) for a family of FPC counters."""
 
-    __slots__ = ("vector", "saturation", "_random")
+    __slots__ = ("vector", "saturation", "_random", "_thresholds")
 
     def __init__(
         self,
@@ -107,12 +107,28 @@ class FPCPolicy:
                 raise ConfigurationError(f"FPC probability out of range: {probability}")
         self.saturation = len(self.vector)
         self._random = DeterministicRandom(seed)
+        # Precomputed per-level 32-bit draw thresholds (the Fraction arithmetic of
+        # ``DeterministicRandom.chance`` is loop-invariant): ``None`` means "always"
+        # (p >= 1, no PRNG draw — exactly like ``chance``), ``-1`` means "never".
+        self._thresholds: list[int | None] = []
+        for probability in self.vector:
+            if probability >= 1:
+                self._thresholds.append(None)
+            elif probability <= 0:
+                self._thresholds.append(-1)
+            else:
+                self._thresholds.append(int(probability * (1 << 32)))
 
     def allows_increment(self, level: int) -> bool:
         """Draw whether a counter currently at ``level`` may move forward."""
         if level >= self.saturation:
             return False
-        return self._random.chance(self.vector[level])
+        threshold = self._thresholds[level]
+        if threshold is None:
+            return True
+        if threshold < 0:
+            return False
+        return (self._random.next_u64() >> 32) < threshold
 
 
 class ForwardProbabilisticCounter:

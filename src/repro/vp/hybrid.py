@@ -22,7 +22,7 @@ from repro.vp.stride import TwoDeltaStridePredictor
 from repro.vp.vtage import VTAGEPredictor
 
 
-@dataclass
+@dataclass(slots=True)
 class _HybridMeta:
     """Per-prediction context: the component predictions, for separate training."""
 

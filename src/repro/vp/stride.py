@@ -72,7 +72,11 @@ class StridePredictor(ValuePredictor):
         self._index_mask = entries - 1
         self._tag_mask = (1 << tag_bits) - 1
         self._policy = FPCPolicy(fpc_vector, seed=seed)
-        self._table = [_StrideEntry() for _ in range(entries)]
+        # Entries are allocated lazily on first training: a fresh ``None`` slot
+        # behaves exactly like a never-written entry (``valid`` False), and the
+        # synthetic kernels touch a small fraction of the 8K-entry table, so eager
+        # construction would dominate predictor set-up time.
+        self._table: list[_StrideEntry | None] = [None] * entries
 
     # ------------------------------------------------------------------ indexing
     def _index(self, pc: int) -> int:
@@ -84,7 +88,7 @@ class StridePredictor(ValuePredictor):
     # ------------------------------------------------------------------ interface
     def predict(self, pc: int, history: GlobalHistory) -> VPrediction | None:
         entry = self._table[self._index(pc)]
-        if not entry.valid or entry.tag != self._tag(pc):
+        if entry is None or not entry.valid or entry.tag != self._tag(pc):
             return None
         predicted = (entry.spec_last + entry.stride2) & _MASK64
         confident = entry.confidence >= self._policy.saturation
@@ -98,7 +102,7 @@ class StridePredictor(ValuePredictor):
         index = self._index(pc)
         entry = self._table[index]
         tag = self._tag(pc)
-        if entry.valid and entry.tag == tag:
+        if entry is not None and entry.valid and entry.tag == tag:
             delta = (actual - entry.last_value) & _MASK64
             predicted_from_committed = (entry.last_value + entry.stride2) & _MASK64
             if prediction is not None:
@@ -132,6 +136,9 @@ class StridePredictor(ValuePredictor):
                 # way once validation exposes a misprediction).
                 entry.spec_last = (actual + entry.stride2 * entry.inflight) & _MASK64
         else:
+            if entry is None:
+                entry = _StrideEntry()
+                self._table[index] = entry
             entry.valid = True
             entry.tag = tag
             entry.last_value = actual
@@ -144,7 +151,7 @@ class StridePredictor(ValuePredictor):
     def recover(self) -> None:
         """Collapse every speculative chain back onto the committed last value."""
         for entry in self._table:
-            if entry.inflight:
+            if entry is not None and entry.inflight:
                 entry.inflight = 0
                 entry.spec_last = entry.last_value
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bpu.history import GlobalHistory
+from repro.bpu.history import FoldedHistoryCache, GlobalHistory
 from repro.errors import ConfigurationError
 from repro.vp.base import ValuePredictor, VPrediction
 from repro.vp.confidence import DeterministicRandom, FPCPolicy, PAPER_FPC_VECTOR
@@ -53,7 +53,7 @@ def geometric_history_lengths(minimum: int, maximum: int, count: int) -> list[in
     return lengths
 
 
-@dataclass
+@dataclass(slots=True)
 class _VTAGEMeta:
     """Fetch-time lookup context carried to commit-time training."""
 
@@ -103,15 +103,29 @@ class VTAGEPredictor(ValuePredictor):
         self.history_lengths = geometric_history_lengths(min_history, max_history, num_components)
         self._base_mask = base_entries - 1
         self._tagged_mask = tagged_entries - 1
+        self._index_width = self._tagged_mask.bit_length()
+        self._tag_widths = [tag_bits + rank for rank in range(num_components)]
+        self._tag_masks = [(1 << width) - 1 for width in self._tag_widths]
         self._policy = FPCPolicy(fpc_vector, seed=seed)
         self._random = DeterministicRandom(seed ^ 0xBADC0DE)
+        # Lookup memoisation (pure caching — the computed indices/tags are identical
+        # to the direct formulas): the PC-dependent hash mixes are static per µ-op,
+        # and the folded history only changes when the global history bits do,
+        # while lookups happen for every VP-eligible µ-op between branches.
+        self._pc_mix_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...], int]] = {}
+        self._index_fold_cache = FoldedHistoryCache(
+            self.history_lengths, [self._index_width] * num_components
+        )
+        self._tag_fold_cache = FoldedHistoryCache(self.history_lengths, self._tag_widths)
         # Base component (tagless last-value table).
         self._base_values = [0] * base_entries
         self._base_confidence = [0] * base_entries
         self._base_valid = [False] * base_entries
-        # Tagged components.
-        self._components: list[list[_TaggedEntry]] = [
-            [_TaggedEntry() for _ in range(tagged_entries)] for _ in range(num_components)
+        # Tagged components.  Entries are allocated lazily on first use: a ``None``
+        # slot behaves exactly like a never-allocated entry (``valid`` False), and
+        # only a small fraction of each 1K-entry component is ever touched.
+        self._components: list[list[_TaggedEntry | None]] = [
+            [None] * tagged_entries for _ in range(num_components)
         ]
 
     # ------------------------------------------------------------------ indexing
@@ -129,23 +143,42 @@ class VTAGEPredictor(ValuePredictor):
         folded = history.fold(length, width)
         return (_mix(pc * 7 + rank * 3 + 1) ^ folded) & ((1 << width) - 1)
 
+    # ------------------------------------------------------------------ memoisation
+    def _pc_mixes(self, pc: int) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+        """The PC-dependent halves of every index/tag hash, plus the base index."""
+        cached = self._pc_mix_cache.get(pc)
+        if cached is None:
+            index_mixes = tuple(_mix(pc * 2 + rank) for rank in range(self.num_components))
+            tag_mixes = tuple(
+                _mix(pc * 7 + rank * 3 + 1) for rank in range(self.num_components)
+            )
+            cached = (index_mixes, tag_mixes, _mix(pc) & self._base_mask)
+            self._pc_mix_cache[pc] = cached
+        return cached
+
     # ------------------------------------------------------------------ interface
     def predict(self, pc: int, history: GlobalHistory) -> VPrediction | None:
-        indices = []
-        tags = []
+        index_mixes, tag_mixes, base_index = self._pc_mixes(pc)
+        index_folds = self._index_fold_cache.folds(history)
+        tag_folds = self._tag_fold_cache.folds(history)
+        tagged_mask = self._tagged_mask
+        indices = tuple(
+            (mix ^ fold) & tagged_mask for mix, fold in zip(index_mixes, index_folds)
+        )
+        tags = tuple(
+            (mix ^ fold) & mask
+            for mix, fold, mask in zip(tag_mixes, tag_folds, self._tag_masks)
+        )
         provider = -1
         provider_entry: _TaggedEntry | None = None
-        for rank in range(self.num_components):
-            index = self._tagged_index(pc, history, rank)
-            tag = self._tagged_tag(pc, history, rank)
-            indices.append(index)
-            tags.append(tag)
-            entry = self._components[rank][index]
-            if entry.valid and entry.tag == tag:
+        rank = 0
+        for component, index, tag in zip(self._components, indices, tags):
+            entry = component[index]
+            if entry is not None and entry.valid and entry.tag == tag:
                 provider = rank
                 provider_entry = entry
-        base_index = self._base_index(pc)
-        meta = _VTAGEMeta(tuple(indices), tuple(tags), provider, base_index)
+            rank += 1
+        meta = _VTAGEMeta(indices, tags, provider, base_index)
         if provider_entry is not None:
             confident = provider_entry.confidence >= self._policy.saturation
             return VPrediction(provider_entry.value, confident, self.name, meta=meta)
@@ -181,13 +214,13 @@ class VTAGEPredictor(ValuePredictor):
         candidates = []
         for rank in range(start, self.num_components):
             entry = self._components[rank][meta.indices[rank]]
-            if not entry.valid or entry.useful == 0:
+            if entry is None or not entry.valid or entry.useful == 0:
                 candidates.append(rank)
         if not candidates:
             # Age the useful bits of all longer-history victims, TAGE-style.
             for rank in range(start, self.num_components):
                 entry = self._components[rank][meta.indices[rank]]
-                if entry.useful > 0:
+                if entry is not None and entry.useful > 0:
                     entry.useful -= 1
             return
         # Prefer the shortest eligible history, with a random tie-break to avoid ping-pong.
@@ -195,6 +228,9 @@ class VTAGEPredictor(ValuePredictor):
         if len(candidates) > 1 and self._random.chance_half():
             choice = candidates[1]
         entry = self._components[choice][meta.indices[choice]]
+        if entry is None:
+            entry = _TaggedEntry()
+            self._components[choice][meta.indices[choice]] = entry
         entry.valid = True
         entry.tag = meta.tags[choice]
         entry.value = actual
@@ -211,7 +247,7 @@ class VTAGEPredictor(ValuePredictor):
         meta: _VTAGEMeta = prediction.meta
         if meta.provider >= 0:
             entry = self._components[meta.provider][meta.indices[meta.provider]]
-            if entry.valid and entry.tag == meta.tags[meta.provider]:
+            if entry is not None and entry.valid and entry.tag == meta.tags[meta.provider]:
                 if entry.value == actual:
                     entry.confidence = self._bump_confidence(entry.confidence)
                     if entry.confidence >= self._policy.saturation:

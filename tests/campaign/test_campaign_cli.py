@@ -116,10 +116,59 @@ class TestReportCommand:
 
     def test_report_on_empty_store(self, tmp_path, capsys):
         assert main(["report", "--store", str(tmp_path / "void.jsonl")]) == 1
-        assert "empty" in capsys.readouterr().out
+        assert "empty" in capsys.readouterr().err
 
     def test_report_with_unknown_baseline(self, tmp_path, capsys):
         store_path = tmp_path / "campaign.jsonl"
         main(_run_args(store_path, workers=1))
         capsys.readouterr()
         assert main(["report", "--store", str(store_path), "--baseline", "Nope"]) == 1
+        assert "not in store" in capsys.readouterr().err
+
+    def test_report_json_format_is_parseable_and_complete(self, tmp_path, capsys):
+        import json
+
+        store_path = tmp_path / "campaign.jsonl"
+        main(_run_args(store_path, workers=1))
+        capsys.readouterr()
+        assert main(["report", "--store", str(store_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "ipc"
+        assert payload["baseline"] is None
+        assert sorted(payload["configs"]) == sorted(CONFIGS.split(","))
+        assert set(payload["workloads"]) == set(FAST_SUBSET)
+        for name in FAST_SUBSET:
+            for config_name in CONFIGS.split(","):
+                assert payload["values"][name][config_name] > 0
+
+    def test_report_json_speedups_normalise_against_baseline(self, tmp_path, capsys):
+        import json
+
+        store_path = tmp_path / "campaign.jsonl"
+        main(_run_args(store_path, workers=1))
+        capsys.readouterr()
+        assert main(
+            ["report", "--store", str(store_path), "--format", "json",
+             "--baseline", "Baseline_6_64"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "speedup"
+        assert payload["baseline"] == "Baseline_6_64"
+        for name in FAST_SUBSET:
+            assert payload["values"][name]["Baseline_6_64"] == 1.0
+
+    def test_report_csv_format(self, tmp_path, capsys):
+        import csv
+        import io
+
+        store_path = tmp_path / "campaign.jsonl"
+        main(_run_args(store_path, workers=1))
+        capsys.readouterr()
+        assert main(["report", "--store", str(store_path), "--format", "csv"]) == 0
+        rows = list(csv.reader(io.StringIO(capsys.readouterr().out)))
+        assert rows[0] == ["workload"] + sorted(CONFIGS.split(","))
+        assert len(rows) == 1 + len(FAST_SUBSET)
+        for row in rows[1:]:
+            assert row[0] in FAST_SUBSET
+            for value in row[1:]:
+                assert float(value) > 0

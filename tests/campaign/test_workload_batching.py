@@ -1,0 +1,46 @@
+"""Workload-batched sharding: same-workload cells stay on one worker."""
+
+from repro.campaign.executor import _workload_batches
+from repro.campaign.spec import Campaign
+from repro.pipeline.config import named_config
+
+
+def _cells(config_names, workload_names, max_uops=1000):
+    campaign = Campaign(
+        name="t",
+        configs=tuple(named_config(name) for name in config_names),
+        workload_names=tuple(workload_names),
+        max_uops=max_uops,
+        warmup_uops=0,
+    )
+    return campaign.cells()
+
+
+class TestWorkloadBatches:
+    def test_groups_by_workload_when_workers_are_scarce(self):
+        cells = _cells(["Baseline_6_64", "EOLE_4_64"], ["gcc", "mcf", "hmmer"])
+        batches = _workload_batches(cells, workers=3)
+        assert len(batches) == 3
+        for batch in batches:
+            assert len({cell.workload_name for cell in batch}) == 1
+            assert len(batch) == 2
+
+    def test_every_cell_appears_exactly_once(self):
+        cells = _cells(["Baseline_6_64", "EOLE_4_64"], ["gcc", "mcf"])
+        batches = _workload_batches(cells, workers=8)
+        flattened = [cell.fingerprint for batch in batches for cell in batch]
+        assert sorted(flattened) == sorted(cell.fingerprint for cell in cells)
+
+    def test_large_groups_split_to_fill_idle_workers(self):
+        cells = _cells(
+            ["Baseline_6_64", "Baseline_VP_6_64", "EOLE_4_64", "EOLE_6_64"], ["gcc"]
+        )
+        batches = _workload_batches(cells, workers=4)
+        assert len(batches) >= 2  # one 4-cell workload split across workers
+        assert sum(len(batch) for batch in batches) == 4
+
+    def test_single_cell_batches_cannot_split_further(self):
+        cells = _cells(["Baseline_6_64"], ["gcc", "mcf"])
+        batches = _workload_batches(cells, workers=16)
+        assert len(batches) == 2
+        assert all(len(batch) == 1 for batch in batches)

@@ -10,6 +10,20 @@ from __future__ import annotations
 import pytest
 
 from repro.isa.builder import ProgramBuilder
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_stores(monkeypatch):
+    """Isolate unit tests from ambient persistent stores.
+
+    CI (and developers) may export ``REPRO_RESULT_STORE`` / ``REPRO_TRACE_STORE`` so
+    the *benchmark* suite reuses results across sessions; the unit tests under
+    ``tests/`` must not read or pollute those stores (several tests assert on
+    simulate/capture counts or intentionally bypass caching).  Tests that exercise
+    the stores set the variables themselves via ``monkeypatch.setenv``.
+    """
+    monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_STORE", raising=False)
 from repro.isa.emulator import ArchState
 from repro.isa.program import Program
 from repro.pipeline.config import PipelineConfig

@@ -1,0 +1,102 @@
+"""Trace determinism: capture→replay must equal direct emulation, field for field."""
+
+import pytest
+
+from repro.isa.emulator import collect_trace
+from repro.trace.capture import capture_trace, capture_workload_trace, required_length
+from repro.trace.encoding import CapturedTrace, program_fingerprint
+from repro.workloads.suite import workload
+
+_DYN_FIELDS = (
+    "seq",
+    "pc",
+    "src_values",
+    "result",
+    "flags_result",
+    "flags_in",
+    "addr",
+    "store_value",
+    "taken",
+    "next_pc",
+)
+
+
+def _assert_streams_equal(replayed, emulated):
+    assert len(replayed) == len(emulated)
+    for got, want in zip(replayed, emulated):
+        assert got.uop is want.uop  # interned static µ-op, not a copy
+        for name in _DYN_FIELDS:
+            got_value = getattr(got, name)
+            want_value = getattr(want, name)
+            assert got_value == want_value, f"{name} differs at seq {want.seq}"
+            assert type(got_value) is type(want_value), f"{name} type differs"
+
+
+@pytest.mark.parametrize("name", ["gcc", "mcf", "wupwise"])
+def test_capture_replay_matches_direct_emulation(name):
+    wl = workload(name)
+    budget = 3000
+    trace = capture_workload_trace(wl, budget)
+    emulated = collect_trace(wl.program, budget, state=wl.make_state())
+    _assert_streams_equal(list(trace.replay()), emulated)
+
+
+def test_columnar_roundtrip_through_bytes():
+    wl = workload("gcc")
+    trace = capture_workload_trace(wl, 2000)
+    blob = trace.to_bytes()
+    decoded = CapturedTrace.from_bytes(blob, wl.program)
+    assert decoded.length == trace.length
+    assert decoded.halted == trace.halted
+    assert decoded.budget == trace.budget
+    emulated = collect_trace(wl.program, 2000, state=wl.make_state())
+    _assert_streams_equal(list(decoded.replay()), emulated)
+
+
+def test_replay_shares_materialised_instructions():
+    wl = workload("hmmer")
+    trace = capture_workload_trace(wl, 500)
+    first = list(trace.replay())
+    second = list(trace.replay())
+    assert all(a is b for a, b in zip(first, second))
+
+
+def test_halted_trace_covers_any_length():
+    # A straight-line program halts long before the capture budget.
+    from repro.isa.builder import ProgramBuilder
+
+    builder = ProgramBuilder("tiny")
+    builder.movi(1, 7)
+    builder.addi(1, 1, 1)
+    program = builder.build()
+    trace = capture_trace(program, budget=1000)
+    assert trace.length == 2
+    assert trace.halted
+    assert trace.covers(10**9)
+
+
+def test_truncated_trace_covers_only_its_length():
+    wl = workload("gcc")
+    trace = capture_workload_trace(wl, 100)
+    assert not trace.halted
+    assert trace.covers(100)
+    assert not trace.covers(101)
+
+
+def test_required_length_mirrors_simulator_budget():
+    from repro.pipeline.config import baseline_6_64
+
+    config = baseline_6_64()
+    assert (
+        required_length(1000, config)
+        == 1000 + config.rob_size + config.frontend_capacity + 64
+    )
+
+
+def test_program_fingerprint_distinguishes_programs():
+    assert program_fingerprint(workload("gcc").program) != program_fingerprint(
+        workload("mcf").program
+    )
+    assert program_fingerprint(workload("gcc").program) == program_fingerprint(
+        workload("gcc").program
+    )

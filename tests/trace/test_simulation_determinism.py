@@ -1,0 +1,102 @@
+"""Bit-identity of simulation results with and without the trace subsystem.
+
+The hard invariant of the trace cache: every ``SimulationResult`` must be *byte
+identical* whether the simulator emulates inline (``REPRO_TRACE_CACHE=0``), replays a
+shared in-process capture, or replays a capture decoded from the on-disk store.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.executor import simulate_cell
+from repro.campaign.spec import CampaignCell
+from repro.pipeline.config import named_config
+from repro.trace.cache import TRACE_CACHE_ENV_VAR, shared_trace_cache
+from repro.trace.capture import capture_workload_trace, required_length
+from repro.trace.encoding import CapturedTrace
+from repro.trace.store import TRACE_STORE_ENV_VAR
+from repro.workloads.suite import workload
+
+GRID_CONFIGS = ("Baseline_6_64", "Baseline_VP_6_64", "EOLE_4_64")
+GRID_WORKLOADS = ("gcc", "mcf")
+MAX_UOPS, WARMUP_UOPS = 2500, 500
+
+
+def _grid_dicts(monkeypatch, *, cache_enabled: bool) -> dict[str, dict]:
+    if cache_enabled:
+        monkeypatch.delenv(TRACE_CACHE_ENV_VAR, raising=False)
+    else:
+        monkeypatch.setenv(TRACE_CACHE_ENV_VAR, "0")
+    shared_trace_cache.clear()
+    out = {}
+    for config_name in GRID_CONFIGS:
+        for workload_name in GRID_WORKLOADS:
+            cell = CampaignCell(
+                config=named_config(config_name),
+                workload_name=workload_name,
+                max_uops=MAX_UOPS,
+                warmup_uops=WARMUP_UOPS,
+            )
+            out[cell.describe()] = simulate_cell(cell).to_dict()
+    return out
+
+
+def test_grid_with_trace_cache_is_byte_identical_to_cold_run(monkeypatch):
+    monkeypatch.delenv(TRACE_STORE_ENV_VAR, raising=False)
+    cached = _grid_dicts(monkeypatch, cache_enabled=True)
+    cold = _grid_dicts(monkeypatch, cache_enabled=False)
+    assert json.dumps(cached, sort_keys=True) == json.dumps(cold, sort_keys=True)
+
+
+def test_explicit_trace_matches_inline_emulation():
+    config = named_config("Baseline_VP_6_64")
+    wl = workload("gcc")
+    trace = capture_workload_trace(wl, required_length(MAX_UOPS, config))
+    cell = CampaignCell(
+        config=config, workload_name=wl.name, max_uops=MAX_UOPS, warmup_uops=WARMUP_UOPS
+    )
+    from_trace = simulate_cell(cell, wl, trace=trace)
+    from_decoded = simulate_cell(
+        cell, wl, trace=CapturedTrace.from_bytes(trace.to_bytes(), wl.program)
+    )
+    assert from_trace.to_dict() == from_decoded.to_dict()
+
+
+def test_disk_store_replay_is_byte_identical(monkeypatch, tmp_path):
+    cell = CampaignCell(
+        config=named_config("EOLE_4_64"),
+        workload_name="mcf",
+        max_uops=MAX_UOPS,
+        warmup_uops=WARMUP_UOPS,
+    )
+    monkeypatch.delenv(TRACE_STORE_ENV_VAR, raising=False)
+    shared_trace_cache.clear()
+    in_memory = simulate_cell(cell).to_dict()
+
+    monkeypatch.setenv(TRACE_STORE_ENV_VAR, str(tmp_path / "traces"))
+    shared_trace_cache.clear()
+    simulate_cell(cell)  # populates the store
+    shared_trace_cache.clear()  # force the next run to decode from disk
+    from_disk = simulate_cell(cell).to_dict()
+    assert from_disk == in_memory
+
+
+def test_shared_cache_counts_replays():
+    shared_trace_cache.clear()
+    before = shared_trace_cache.captures
+    for config_name in ("Baseline_6_64", "EOLE_4_64"):
+        cell = CampaignCell(
+            config=named_config(config_name),
+            workload_name="wupwise",
+            max_uops=1000,
+            warmup_uops=0,
+        )
+        simulate_cell(cell)
+    assert shared_trace_cache.captures == before + 1  # one emulation, two configs
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared_cache():
+    yield
+    shared_trace_cache.clear()
