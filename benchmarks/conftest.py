@@ -62,6 +62,23 @@ def bench_lengths():
 
 
 @pytest.fixture(scope="session", autouse=True)
+def figure_progress():
+    """Per-figure progress/ETA lines for the long benchmark grids.
+
+    Each figure submits its whole grid through :func:`repro.analysis.runner.run_grid`,
+    which consults ``REPRO_PROGRESS``; enabling it here (opt-out: export
+    ``REPRO_PROGRESS=0``) makes every grid print cells-done / elapsed / ETA lines to
+    stderr, labelled with the figure's experiment id.
+    """
+    previous = os.environ.get("REPRO_PROGRESS")
+    if previous is None:
+        os.environ["REPRO_PROGRESS"] = "1"
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_PROGRESS", None)
+
+
+@pytest.fixture(scope="session", autouse=True)
 def persistent_result_store():
     """Report the opt-in persistent store (``REPRO_RESULT_STORE``) around the session.
 

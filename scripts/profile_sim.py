@@ -11,12 +11,14 @@ Examples::
     PYTHONPATH=src python scripts/profile_sim.py
     PYTHONPATH=src python scripts/profile_sim.py --config Baseline_VP_6_64 \\
         --workload mcf --max-uops 20000 --sort cumulative --limit 40
+    PYTHONPATH=src python scripts/profile_sim.py --mode step   # cycle-stepping loop
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import sys
 from pathlib import Path
@@ -24,9 +26,15 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.pipeline.config import NAMED_CONFIGS, named_config  # noqa: E402
-from repro.pipeline.simulator import simulate  # noqa: E402
+from repro.pipeline.simulator import EVENT_DRIVEN_ENV_VAR, simulate  # noqa: E402
 from repro.trace.cache import shared_trace_cache  # noqa: E402
 from repro.workloads.suite import SUITE_ORDER, workload  # noqa: E402
+
+#: Every pstats sort key (plus the classic abbreviations pstats also accepts), so
+#: profiles can be sliced any way pstats supports.
+SORT_KEYS = sorted(
+    {key.value for key in pstats.SortKey} | {"tottime", "cumtime", "ncalls"}
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -35,14 +43,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload", default="gcc", choices=list(SUITE_ORDER))
     parser.add_argument("--max-uops", type=int, default=12000)
     parser.add_argument("--warmup-uops", type=int, default=3000)
-    parser.add_argument("--sort", default="tottime", choices=["tottime", "cumulative", "ncalls"])
+    parser.add_argument(
+        "--sort", default="tottime", choices=SORT_KEYS,
+        help="pstats sort key (default: tottime)",
+    )
     parser.add_argument("--limit", type=int, default=30, help="rows to print")
+    parser.add_argument(
+        "--mode", default="event", choices=["event", "step"],
+        help="main-loop flavour: the event-wheel scheduler (default) or the "
+        "cycle-stepping reference (REPRO_EVENT_DRIVEN=0)",
+    )
     parser.add_argument(
         "--include-capture", action="store_true",
         help="profile the architectural trace capture too (cold-cell cost)",
     )
     parser.add_argument("--dump", default=None, help="write raw pstats to this file")
     args = parser.parse_args(argv)
+    os.environ[EVENT_DRIVEN_ENV_VAR] = "0" if args.mode == "step" else "1"
 
     config = named_config(args.config)
     wl = workload(args.workload)

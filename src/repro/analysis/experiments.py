@@ -71,7 +71,9 @@ def _comparison_figure(
     """Run one grid (baseline + variants) and append one speedup series per variant."""
     selected = _suite(workloads)
     configs = [baseline_config] + [config for _, config in labelled_configs]
-    grid = run_grid(configs, selected, max_uops, warmup_uops, cache)
+    grid = run_grid(
+        configs, selected, max_uops, warmup_uops, cache, label=result.experiment_id
+    )
     baseline = grid[baseline_config.name]
     for label, config in labelled_configs:
         result.series.append(_speedup_series(label, grid[config.name], baseline))
@@ -101,7 +103,9 @@ def fig2_early_execution_share(
         )
         for depth in depths
     ]
-    grid = run_grid(configs, selected, max_uops, warmup_uops, cache)
+    grid = run_grid(
+        configs, selected, max_uops, warmup_uops, cache, label=result.experiment_id
+    )
     for depth, config in zip(depths, configs):
         runs = grid[config.name]
         result.series.append(
@@ -123,7 +127,9 @@ def fig4_late_execution_share(
     """Fig. 4: fraction of committed µ-ops late-executed (disjoint from Fig. 2)."""
     selected = _suite(workloads)
     config = eole_6_64()
-    runs = run_grid([config], selected, max_uops, warmup_uops, cache)[config.name]
+    runs = run_grid(
+        [config], selected, max_uops, warmup_uops, cache, label="fig4_late_exec_share"
+    )[config.name]
     result = ExperimentResult(
         experiment_id="fig4_late_exec_share",
         title="Proportion of committed µ-ops that can be late-executed",
@@ -171,7 +177,9 @@ def table3_baseline_ipc(
     """Table 3: per-benchmark IPC of the 6-issue, 64-entry-IQ baseline (no VP)."""
     selected = _suite(workloads)
     config = baseline_6_64()
-    runs = run_grid([config], selected, max_uops, warmup_uops, cache)[config.name]
+    runs = run_grid(
+        [config], selected, max_uops, warmup_uops, cache, label="table3_baseline_ipc"
+    )[config.name]
     result = ExperimentResult(
         experiment_id="table3_baseline_ipc",
         title="Baseline_6_64 IPC per workload",

@@ -52,6 +52,17 @@ def default_suite_workers() -> int:
     return max(1, int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "1")))
 
 
+#: Environment variable: any value other than ``0``/empty makes library-level grid
+#: runs print per-cell progress/ETA lines (the benchmark harness enables it so long
+#: figure grids report cells-done/ETA on stderr).
+PROGRESS_ENV_VAR = "REPRO_PROGRESS"
+
+
+def default_progress() -> bool:
+    """Whether grid runs report progress when the caller does not say (env)."""
+    return os.environ.get(PROGRESS_ENV_VAR, "0") not in ("", "0")
+
+
 class ResultCache:
     """In-process memoisation of simulation results.
 
@@ -134,19 +145,25 @@ def run_grid(
     cache: ResultCache | None = shared_cache,
     store: ResultStore | None = None,
     workers: int | None = None,
-    progress: bool = False,
+    progress: bool | None = None,
+    label: str | None = None,
 ) -> dict[str, dict[str, SimulationResult]]:
     """Simulate every (config, workload) pair; returns config name → workload → result.
 
     The whole grid is submitted to the campaign engine at once, so with ``workers > 1``
     the cells of *different* configurations shard across the pool together — the unit
     of parallelism is the cell, not the configuration row.
+
+    ``progress=None`` defers to the ``REPRO_PROGRESS`` environment variable; when
+    enabled, per-cell done-count/ETA lines are printed to stderr, labelled with
+    ``label`` (e.g. the figure id the benchmark harness is regenerating).
     """
     configs = list(configs)
     selected = list(workloads) if workloads is not None else all_workloads()
     max_uops = max_uops if max_uops is not None else default_max_uops()
     warmup_uops = warmup_uops if warmup_uops is not None else default_warmup_uops()
     workers = workers if workers is not None else default_suite_workers()
+    progress = progress if progress is not None else default_progress()
 
     # The campaign engine routes cells by workload *name* (they must survive a pickle
     # boundary), so it may only be used when every workload is the registry's own
@@ -159,7 +176,7 @@ def run_grid(
         {wl.name for wl in selected}
     ) == len(selected):
         campaign = Campaign(
-            name="grid",
+            name=label if label else "grid",
             configs=tuple(configs),
             workload_names=tuple(wl.name for wl in selected),
             max_uops=max_uops,

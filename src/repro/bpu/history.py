@@ -5,9 +5,125 @@ components with a hash of the PC and a geometrically increasing slice of the glo
 conditional-branch history (Seznec & Michaud, JILP 2006; Perais & Seznec, HPCA 2014).
 This module provides the shared history register abstraction, including the standard
 "folding" of a long history slice down to an index- or tag-sized bit field.
+
+Folding is maintained *incrementally*, the way hardware does it: each (length, width)
+pair is a circular-shifted register updated in O(1) on every :meth:`GlobalHistory.push`
+(Seznec & Michaud's CSR scheme), instead of re-XOR-folding up to ``capacity`` history
+bits per prediction.  :func:`fold_bits` remains the reference implementation the
+incremental registers are tested against, and squash recovery goes through
+:meth:`GlobalHistory.snapshot` / :meth:`GlobalHistory.restore`, which carry the folded
+state alongside the raw bits so recovery never re-folds either.
 """
 
 from __future__ import annotations
+
+
+def fold_bits(value: int, length: int, width: int) -> int:
+    """XOR-fold ``length`` bits of ``value`` into a ``width``-bit quantity.
+
+    Reference implementation: the incremental registers of :class:`FoldedRegisterFile`
+    must always equal ``fold_bits(history.slice(length), length, width)``.
+    """
+    if width <= 0 or length <= 0:
+        return 0
+    mask = (1 << width) - 1
+    folded = 0
+    remaining = value & ((1 << length) - 1)
+    while remaining:
+        folded ^= remaining & mask
+        remaining >>= width
+    return folded & mask
+
+
+class FoldedRegisterFile:
+    """Circular-shifted folded-history registers for one set of (length, width) pairs.
+
+    One register per pair, each holding ``fold_bits(history.slice(length), length,
+    width)`` at all times.  On :meth:`push`, every register is updated in O(1): the
+    register rotates left by one within its width, the incoming outcome lands in bit
+    0, and the outgoing history bit (bit ``length - 1`` of the *pre-push* raw history)
+    is cancelled at bit ``length % width`` — exactly where the rotation moved its
+    contribution.  Restoring a snapshot reinstates the register values directly; no
+    path ever re-folds the raw history once the file is attached.
+    """
+
+    __slots__ = ("history", "lengths", "widths", "folds", "_params", "_tuple_cache")
+
+    def __init__(self, history: "GlobalHistory", lengths, widths) -> None:
+        self.history = history
+        self.lengths = tuple(lengths)
+        self.widths = tuple(widths)
+        if len(self.lengths) != len(self.widths):
+            raise ValueError("lengths and widths must pair up")
+        # Per-register constants: (out_shift, out_point, top_shift, mask).  Lengths are
+        # clamped to the history capacity — the register itself holds no more bits, so
+        # a longer slice folds identically (the reference fold_bits agrees: the extra
+        # "bits" are all zero).
+        self._params = []
+        for length, width in zip(self.lengths, self.widths):
+            length = min(length, history.capacity)
+            if length <= 0 or width <= 0:
+                self._params.append(None)
+            else:
+                self._params.append(
+                    (length - 1, length % width, width - 1, (1 << width) - 1)
+                )
+        self.folds: list[int] = []
+        self._refold(history._bits)
+
+    def _refold(self, bits: int) -> None:
+        """Recompute every register from raw ``bits`` (attach time / legacy restore)."""
+        self.folds = [
+            fold_bits(bits, min(length, self.history.capacity), width)
+            for length, width in zip(self.lengths, self.widths)
+        ]
+        self._tuple_cache: tuple[int, ...] | None = None
+
+    def folds_tuple(self) -> tuple[int, ...]:
+        """Immutable snapshot of the register values, memoised between pushes.
+
+        Value-predictor lookups snapshot the folds once per µ-op but the registers
+        only change per conditional branch, so the tuple is shared by every lookup
+        in between.
+        """
+        cached = self._tuple_cache
+        if cached is None:
+            cached = tuple(self.folds)
+            self._tuple_cache = cached
+        return cached
+
+    def _push(self, old_bits: int, bit: int) -> None:
+        """O(1) update of every register for one pushed outcome ``bit``."""
+        self._tuple_cache = None
+        folds = self.folds
+        index = 0
+        for params in self._params:
+            if params is not None:
+                out_shift, out_point, top_shift, mask = params
+                fold = folds[index]
+                fold = ((fold << 1) | (fold >> top_shift)) & mask
+                fold ^= bit
+                fold ^= ((old_bits >> out_shift) & 1) << out_point
+                folds[index] = fold & mask
+            index += 1
+
+
+class HistorySnapshot(int):
+    """A :meth:`GlobalHistory.snapshot` value: the raw history bits, as an ``int``.
+
+    Subclassing ``int`` keeps the long-standing contract (snapshots compare and hash
+    like the raw bits) while piggybacking the incremental folded-register state, so
+    :meth:`GlobalHistory.restore` is O(registers) instead of re-folding the full
+    history.  A plain ``int`` (e.g. the ``0`` default of a fresh
+    :class:`~repro.ooo.inflight.InflightOp`) is still accepted by ``restore`` — the
+    folded registers are then recomputed from the raw bits.
+
+    (``int`` subclasses cannot carry nonempty ``__slots__``, so ``folds`` lives in the
+    instance dict; snapshots are memoised per push in :meth:`GlobalHistory.snapshot`,
+    so at most one is created per history change.)
+    """
+
+    folds: tuple[tuple[int, ...], ...]
 
 
 class GlobalHistory:
@@ -17,7 +133,7 @@ class GlobalHistory:
     (``capacity`` bits) like a hardware history register.
     """
 
-    __slots__ = ("capacity", "_bits", "_mask")
+    __slots__ = ("capacity", "_bits", "_mask", "_registers", "_snapshot")
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity <= 0:
@@ -25,23 +141,72 @@ class GlobalHistory:
         self.capacity = capacity
         self._bits = 0
         self._mask = (1 << capacity) - 1
+        #: Attached folded-register files, in attach order (append-only, so snapshot
+        #: fold tuples stay index-aligned even when a file attaches mid-run).
+        self._registers: list[FoldedRegisterFile] = []
+        self._snapshot: HistorySnapshot | None = None
 
     # ------------------------------------------------------------------ update
     def push(self, taken: bool) -> None:
         """Insert the outcome of the most recent conditional branch."""
-        self._bits = ((self._bits << 1) | (1 if taken else 0)) & self._mask
+        bits = self._bits
+        bit = 1 if taken else 0
+        for registers in self._registers:
+            registers._push(bits, bit)
+        self._bits = ((bits << 1) | bit) & self._mask
+        self._snapshot = None
 
-    def snapshot(self) -> int:
-        """Return the raw history bits (useful for checkpoint/restore on squash)."""
-        return self._bits
+    def snapshot(self) -> HistorySnapshot:
+        """Checkpoint the history (raw bits + folded registers) for squash recovery.
 
-    def restore(self, bits: int) -> None:
-        """Restore a snapshot taken with :meth:`snapshot`."""
-        self._bits = bits & self._mask
+        The returned value is an ``int`` equal to :attr:`bits`; it additionally
+        carries the attached folded-register values so :meth:`restore` never has to
+        re-fold.  Snapshots are memoised between pushes, so checkpointing every
+        fetched µ-op costs one attribute read on the common no-new-branch path.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            snapshot = HistorySnapshot(self._bits)
+            snapshot.folds = tuple(reg.folds_tuple() for reg in self._registers)
+            self._snapshot = snapshot
+        return snapshot
+
+    def restore(self, snapshot: int) -> None:
+        """Restore a checkpoint taken with :meth:`snapshot` (or raw history bits)."""
+        self._bits = int(snapshot) & self._mask
+        folds = getattr(snapshot, "folds", None)
+        for index, registers in enumerate(self._registers):
+            if folds is not None and index < len(folds):
+                registers.folds = list(folds[index])
+                registers._tuple_cache = folds[index]
+            else:
+                # Register file attached after the snapshot was taken (or a raw-bits
+                # restore): fall back to re-folding from the restored history.
+                registers._refold(self._bits)
+        self._snapshot = snapshot if isinstance(snapshot, HistorySnapshot) and folds is not None and len(folds) == len(self._registers) else None
 
     def clear(self) -> None:
         """Reset the history register to all-not-taken."""
         self._bits = 0
+        for registers in self._registers:
+            registers._refold(0)
+        self._snapshot = None
+
+    # ------------------------------------------------------------------ folded registers
+    def folded_registers(self, lengths, widths) -> FoldedRegisterFile:
+        """Attach (or reuse) an incremental folded-register file for given pairs.
+
+        Register files are deduplicated by their (lengths, widths) signature, so two
+        predictors with identical geometry share one set of registers.
+        """
+        key = (tuple(lengths), tuple(widths))
+        for registers in self._registers:
+            if (registers.lengths, registers.widths) == key:
+                return registers
+        registers = FoldedRegisterFile(self, key[0], key[1])
+        self._registers.append(registers)
+        self._snapshot = None
+        return registers
 
     # ------------------------------------------------------------------ access
     @property
@@ -60,51 +225,3 @@ class GlobalHistory:
     def fold(self, length: int, width: int) -> int:
         """Fold the youngest ``length`` history bits down to ``width`` bits by XOR."""
         return fold_bits(self.slice(length), length, width)
-
-
-def fold_bits(value: int, length: int, width: int) -> int:
-    """XOR-fold ``length`` bits of ``value`` into a ``width``-bit quantity."""
-    if width <= 0 or length <= 0:
-        return 0
-    mask = (1 << width) - 1
-    folded = 0
-    remaining = value & ((1 << length) - 1)
-    while remaining:
-        folded ^= remaining & mask
-        remaining >>= width
-    return folded & mask
-
-
-class FoldedHistoryCache:
-    """Memoised folded-history values for a fixed set of (length, width) pairs.
-
-    The tagged predictors (TAGE, VTAGE) fold geometrically increasing history
-    slices on every lookup, but the history itself only changes when a conditional
-    branch retires direction into it (or a squash restores it).  This cache
-    recomputes the folds only when the observed history *bits* change — so a squash
-    restoring the pre-squash history, the common recovery case, keeps them — and is
-    shared by both predictors so the invalidation protocol cannot diverge.
-    """
-
-    __slots__ = ("lengths", "widths", "_source", "_bits", "_folds")
-
-    def __init__(self, lengths, widths) -> None:
-        self.lengths = tuple(lengths)
-        self.widths = tuple(widths)
-        if len(self.lengths) != len(self.widths):
-            raise ValueError("lengths and widths must pair up")
-        self._source: GlobalHistory | None = None
-        self._bits = -1
-        self._folds: tuple[int, ...] = ()
-
-    def folds(self, history: GlobalHistory) -> tuple[int, ...]:
-        """``fold(length, width)`` per pair, identical to computing them directly."""
-        bits = history.snapshot()
-        if history is not self._source or bits != self._bits:
-            fold = history.fold
-            self._folds = tuple(
-                fold(length, width) for length, width in zip(self.lengths, self.widths)
-            )
-            self._source = history
-            self._bits = bits
-        return self._folds

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bpu.history import FoldedHistoryCache, GlobalHistory
+from repro.bpu.history import FoldedRegisterFile, GlobalHistory
 from repro.errors import ConfigurationError
 from repro.vp.confidence import DeterministicRandom
 from repro.vp.vtage import geometric_history_lengths
@@ -34,15 +34,22 @@ def _mix(value: int) -> int:
 
 @dataclass(slots=True)
 class TAGEPrediction:
-    """Outcome of a TAGE lookup, carried until branch resolution/commit for training."""
+    """Outcome of a TAGE lookup, carried until branch resolution/commit for training.
+
+    Non-provider component indices/tags are not materialised at lookup time: ``folds``
+    snapshots the incremental folded-history registers (the live registers advance
+    with every branch), and commit-time allocation re-derives from it exactly the
+    indices/tags the lookup would have computed for the components it touches.
+    """
 
     taken: bool
     high_confidence: bool
     provider: int  # -1 = bimodal, else tagged component rank
     provider_counter: int
+    provider_index: int
     alt_taken: bool
-    indices: tuple[int, ...]
-    tags: tuple[int, ...]
+    pc: int
+    folds: tuple[int, ...]
     bimodal_index: int
 
 
@@ -88,21 +95,22 @@ class TAGEBranchPredictor:
         self._tagged_mask = tagged_entries - 1
         self._index_width = self._tagged_mask.bit_length()
         self._tag_mask = (1 << tag_bits) - 1
-        # Lookup memoisation, mirroring VTAGE: PC hash mixes are static, folded
-        # history refreshes only when the history bits change (pure caching).
+        # Lookup memoisation, mirroring VTAGE: the PC hash mixes are static, and the
+        # folded history lives in incrementally-maintained registers attached to the
+        # GlobalHistory itself (updated in O(1) per pushed branch outcome, restored
+        # from snapshots on squash) — one register per component index plus one per
+        # component tag, concatenated into a single file.
         self._pc_mix_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...], int]] = {}
-        self._index_fold_cache = FoldedHistoryCache(
-            self.history_lengths, [self._index_width] * num_components
-        )
-        self._tag_fold_cache = FoldedHistoryCache(
-            self.history_lengths, [tag_bits] * num_components
-        )
+        self._fold_widths = [self._index_width] * num_components + [tag_bits] * num_components
+        self._fold_registers: FoldedRegisterFile | None = None
         self._bimodal = [2] * bimodal_entries  # 2-bit counters, 0..3, weakly not-taken=1
         # Entries are allocated lazily on first allocation: a ``None`` slot behaves
-        # exactly like a never-allocated entry (``valid`` False, ``useful`` 0).
+        # exactly like a never-allocated entry (``valid`` False, ``useful`` 0).  The
+        # per-component entry counts let lookups skip entirely-empty components.
         self._components: list[list[_TageEntry | None]] = [
             [None] * tagged_entries for _ in range(num_components)
         ]
+        self._component_sizes = [0] * num_components
         self._random = DeterministicRandom(seed)
         self._use_alt_on_na = 8  # 4-bit counter, >=8 means "use alt for new entries"
         self._branches_seen = 0
@@ -139,42 +147,62 @@ class TAGEBranchPredictor:
             self._pc_mix_cache[pc] = cached
         return cached
 
+    def _folds(self, history: GlobalHistory) -> list[int]:
+        """The incremental folded registers for ``history`` (attached on first use).
+
+        Index folds occupy ``[0, num_components)``, tag folds occupy
+        ``[num_components, 2 * num_components)``.
+        """
+        registers = self._fold_registers
+        if registers is None or registers.history is not history:
+            registers = history.folded_registers(
+                self.history_lengths + self.history_lengths, self._fold_widths
+            )
+            self._fold_registers = registers
+        return registers.folds
+
     # ------------------------------------------------------------------ prediction
     def predict(self, pc: int, history: GlobalHistory) -> TAGEPrediction:
         """Predict the direction of the conditional branch at ``pc``."""
         self.lookups += 1
         index_mixes, tag_mixes, bimodal_index = self._pc_mixes(pc)
-        index_folds = self._index_fold_cache.folds(history)
-        tag_folds = self._tag_fold_cache.folds(history)
+        folds = self._folds(history)
+        num_components = self.num_components
         tagged_mask = self._tagged_mask
         tag_mask = self._tag_mask
-        indices = []
-        tags = []
+        components = self._components
+        sizes = self._component_sizes
         provider = -1
-        altpred_provider = -1
-        for rank in range(self.num_components):
-            index = (index_mixes[rank] ^ index_folds[rank]) & tagged_mask
-            tag = (tag_mixes[rank] ^ tag_folds[rank]) & tag_mask
-            indices.append(index)
-            tags.append(tag)
-            entry = self._components[rank][index]
-            if entry is not None and entry.valid and entry.tag == tag:
-                altpred_provider = provider
-                provider = rank
+        provider_index = 0
+        provider_entry: _TageEntry | None = None
+        alt_entry: _TageEntry | None = None
+        for rank in range(num_components):
+            # Empty components cannot hit; the hash is skipped entirely (allocation
+            # re-derives it from the prediction's fold snapshot when needed).  Tags
+            # are only hashed for slots that actually hold an entry.
+            if not sizes[rank]:
+                continue
+            index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
+            entry = components[rank][index]
+            if entry is not None and entry.valid:
+                tag = (tag_mixes[rank] ^ folds[num_components + rank]) & tag_mask
+                if entry.tag == tag:
+                    alt_entry = provider_entry
+                    provider = rank
+                    provider_index = index
+                    provider_entry = entry
 
         bimodal_taken = self._bimodal[bimodal_index] >= 2
 
-        if altpred_provider >= 0:
-            alt_entry = self._components[altpred_provider][indices[altpred_provider]]
+        if alt_entry is not None:
             alt_taken = alt_entry.counter >= self._TAKEN_THRESHOLD
         else:
             alt_taken = bimodal_taken
 
-        if provider >= 0:
-            entry = self._components[provider][indices[provider]]
-            provider_counter = entry.counter
+        if provider_entry is not None:
+            provider_counter = provider_entry.counter
             taken = provider_counter >= self._TAKEN_THRESHOLD
-            newly_allocated = entry.useful == 0 and provider_counter in (3, 4)
+            newly_allocated = provider_entry.useful == 0 and provider_counter in (3, 4)
             if newly_allocated and self._use_alt_on_na >= 8:
                 taken = alt_taken
             saturated = provider_counter in (0, self._COUNTER_MAX)
@@ -189,9 +217,10 @@ class TAGEBranchPredictor:
             high_confidence=high_confidence,
             provider=provider,
             provider_counter=provider_counter,
+            provider_index=provider_index,
             alt_taken=alt_taken,
-            indices=tuple(indices),
-            tags=tuple(tags),
+            pc=pc,
+            folds=self._fold_registers.folds_tuple(),
             bimodal_index=bimodal_index,
         )
         if high_confidence:
@@ -215,7 +244,7 @@ class TAGEBranchPredictor:
 
         if prediction.provider >= 0:
             rank = prediction.provider
-            entry = self._components[rank][prediction.indices[rank]]
+            entry = self._components[rank][prediction.provider_index]
             provider_pred = prediction.provider_counter >= self._TAKEN_THRESHOLD
             # use-alt-on-newly-allocated bookkeeping.
             newly_allocated = entry.useful == 0 and prediction.provider_counter in (3, 4)
@@ -241,31 +270,51 @@ class TAGEBranchPredictor:
         if self._branches_seen % self.useful_reset_period == 0:
             self._age_useful_bits()
 
+    def _prediction_index(self, prediction: TAGEPrediction, rank: int) -> int:
+        """Re-derive the component index the lookup for ``prediction`` used."""
+        if rank == prediction.provider:
+            return prediction.provider_index
+        index_mixes, _, _ = self._pc_mixes(prediction.pc)
+        return (index_mixes[rank] ^ prediction.folds[rank]) & self._tagged_mask
+
+    def _prediction_tag(self, prediction: TAGEPrediction, rank: int) -> int:
+        """Re-derive the component tag the lookup for ``prediction`` used."""
+        _, tag_mixes, _ = self._pc_mixes(prediction.pc)
+        fold = prediction.folds[self.num_components + rank]
+        return (tag_mixes[rank] ^ fold) & self._tag_mask
+
     def _allocate(self, taken: bool, prediction: TAGEPrediction) -> None:
         start = prediction.provider + 1
         components = self._components
-        candidates = []
+        index_mixes, _, _ = self._pc_mixes(prediction.pc)
+        folds = prediction.folds
+        tagged_mask = self._tagged_mask
+        # One fused probe pass over the longer-history components only, re-deriving
+        # each index from the prediction's fold snapshot (identical to the lookup's).
+        probed: list[tuple[int, int, _TageEntry | None]] = []
+        candidates: list[tuple[int, int, _TageEntry | None]] = []
         for rank in range(start, self.num_components):
-            entry = components[rank][prediction.indices[rank]]
+            index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
+            entry = components[rank][index]
+            probed.append((rank, index, entry))
             if entry is None or entry.useful == 0:
-                candidates.append(rank)
+                candidates.append((rank, index, entry))
         if not candidates:
-            for rank in range(start, self.num_components):
-                entry = components[rank][prediction.indices[rank]]
+            for _, _, entry in probed:
                 if entry is not None:
                     entry.useful = max(0, entry.useful - 1)
             return
-        choice = candidates[0]
+        choice, choice_index, choice_entry = candidates[0]
         if len(candidates) > 1 and self._random.chance_half():
-            choice = candidates[1]
-        entry = components[choice][prediction.indices[choice]]
-        if entry is None:
-            entry = _TageEntry()
-            components[choice][prediction.indices[choice]] = entry
-        entry.valid = True
-        entry.tag = prediction.tags[choice]
-        entry.counter = 4 if taken else 3
-        entry.useful = 0
+            choice, choice_index, choice_entry = candidates[1]
+        if choice_entry is None:
+            choice_entry = _TageEntry()
+            components[choice][choice_index] = choice_entry
+            self._component_sizes[choice] += 1
+        choice_entry.valid = True
+        choice_entry.tag = self._prediction_tag(prediction, choice)
+        choice_entry.counter = 4 if taken else 3
+        choice_entry.useful = 0
 
     def _age_useful_bits(self) -> None:
         for component in self._components:

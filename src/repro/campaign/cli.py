@@ -1,11 +1,14 @@
 """Command-line front-end: ``python -m repro.campaign`` (or ``repro-campaign``).
 
-Three subcommands::
+Four subcommands::
 
-    run     simulate a (configs × workloads) grid, persisting results to a store
-    status  report done/missing cells for a grid against a store (no simulation)
-    report  tabulate stored results (IPC by default, speedups with --baseline;
-            --format json|csv for downstream plotting)
+    run      simulate a (configs × workloads) grid, persisting results to a store
+    status   report done/missing cells for a grid against a store (no simulation)
+    report   tabulate stored results (IPC by default, speedups with --baseline;
+             --format json|csv for downstream plotting)
+    compact  rewrite the store dropping superseded/corrupt rows (optionally capped
+             with --max-mb, evicting oldest rows; REPRO_RESULT_STORE_MAX_MB applies
+             the same cap automatically after every append)
 
 Examples::
 
@@ -27,7 +30,7 @@ import sys
 
 from repro.campaign.executor import campaign_status, default_workers, run_campaign
 from repro.campaign.spec import WORKLOAD_SETS, Campaign
-from repro.campaign.store import STORE_ENV_VAR, ResultStore
+from repro.campaign.store import MAX_MB_ENV_VAR, STORE_ENV_VAR, ResultStore
 from repro.errors import ReproError
 from repro.pipeline.config import NAMED_CONFIGS
 from repro.pipeline.stats import SimStats
@@ -98,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_arguments(status_parser)
     _add_store_argument(status_parser, required=True)
 
+    compact_parser = commands.add_parser(
+        "compact", help="rewrite the store dropping superseded/corrupt rows"
+    )
+    _add_store_argument(compact_parser, required=True)
+    compact_parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="size cap in MB: evict oldest rows until the store fits "
+        f"(default: env {MAX_MB_ENV_VAR}, else no cap)",
+    )
+
     report_parser = commands.add_parser("report", help="tabulate stored results")
     _add_store_argument(report_parser, required=True)
     report_parser.add_argument(
@@ -143,6 +158,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"\n{outcome.simulated} simulated, {outcome.from_store} from store, "
         f"{outcome.from_cache} from cache, {outcome.elapsed_seconds:.1f}s elapsed"
         + (f", store: {store.path}" if store is not None else ", no store (transient)")
+    )
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    max_bytes = int(args.max_mb * 1024 * 1024) if args.max_mb else None
+    outcome = store.compact(max_bytes)
+    print(
+        f"store {store.path}: {outcome['bytes_before']} -> {outcome['bytes_after']} bytes, "
+        f"{outcome['records']} records kept "
+        f"({outcome['superseded_dropped']} superseded, {outcome['corrupt_dropped']} corrupt, "
+        f"{outcome['evicted']} evicted)"
     )
     return 0
 
@@ -249,7 +277,12 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"run": _cmd_run, "status": _cmd_status, "report": _cmd_report}
+    handlers = {
+        "run": _cmd_run,
+        "status": _cmd_status,
+        "report": _cmd_report,
+        "compact": _cmd_compact,
+    }
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

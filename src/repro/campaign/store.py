@@ -31,20 +31,42 @@ from repro.pipeline.stats import SimulationResult
 #: Environment variable naming the default persistent store (opt-in).
 STORE_ENV_VAR = "REPRO_RESULT_STORE"
 
+#: Environment variable: size cap, in megabytes, above which the backing file is
+#: automatically compacted after an append (superseded/corrupt rows dropped; oldest
+#: rows evicted if the live records alone still exceed the cap).
+MAX_MB_ENV_VAR = "REPRO_RESULT_STORE_MAX_MB"
+
+
+def default_max_bytes() -> int | None:
+    """The ``REPRO_RESULT_STORE_MAX_MB`` cap in bytes, or ``None`` when unset."""
+    raw = os.environ.get(MAX_MB_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
+
 
 class ResultStore:
     """A persistent map from cell fingerprint to :class:`SimulationResult`."""
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(self, path: str | os.PathLike, max_bytes: int | None = None) -> None:
         self.path = Path(path)
+        self.max_bytes = max_bytes if max_bytes is not None else default_max_bytes()
         self._records: dict[str, dict] = {}
         self._skipped_lines = 0
+        self._superseded_lines = 0
         self._load()
 
     # ------------------------------------------------------------------ loading
     def _load(self) -> None:
         self._records.clear()
         self._skipped_lines = 0
+        self._superseded_lines = 0
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
@@ -59,6 +81,10 @@ class ResultStore:
                 except (json.JSONDecodeError, KeyError, TypeError):
                     self._skipped_lines += 1
                     continue
+                if fingerprint in self._records:
+                    # The newer row wins; the older one is dead weight on disk
+                    # until the next compaction.
+                    self._superseded_lines += 1
                 self._records[fingerprint] = record
 
     def reload(self) -> None:
@@ -76,6 +102,18 @@ class ResultStore:
     def skipped_lines(self) -> int:
         """Corrupt/truncated lines ignored by the last load."""
         return self._skipped_lines
+
+    @property
+    def superseded_lines(self) -> int:
+        """Duplicate-fingerprint rows shadowed by newer ones since the last load."""
+        return self._superseded_lines
+
+    def size_bytes(self) -> int:
+        """Current size of the backing file in bytes (0 when it does not exist)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
 
     def get(self, fingerprint: str) -> SimulationResult | None:
         """The stored result for ``fingerprint``, or ``None``."""
@@ -108,6 +146,8 @@ class ResultStore:
             "saved_unix": time.time(),
             "result": result.to_dict(),
         }
+        if cell.fingerprint in self._records:
+            self._superseded_lines += 1
         self._records[cell.fingerprint] = record
         self._append(record)
         return record
@@ -117,6 +157,12 @@ class ResultStore:
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
+        if self.max_bytes is not None and self.size_bytes() > self.max_bytes:
+            # Size-cap policy: compacting drops superseded/invalidated rows first;
+            # only if the live records alone exceed the cap are oldest rows
+            # evicted.  The eviction target is 80% of the cap, so a store sitting
+            # at its limit does not rewrite the whole file on every append.
+            self.compact(max(1, self.max_bytes * 4 // 5))
 
     def _rewrite(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -126,10 +172,46 @@ class ResultStore:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
         tmp_path.replace(self.path)
         self._skipped_lines = 0
+        self._superseded_lines = 0
 
-    def compact(self) -> None:
-        """Rewrite the file dropping duplicate fingerprints and corrupt lines."""
+    def compact(self, max_bytes: int | None = None) -> dict:
+        """Rewrite the file dropping superseded/corrupt rows; optionally cap its size.
+
+        With ``max_bytes`` (or the store's own cap), oldest records — by their
+        ``saved_unix`` stamp — are evicted until the live rows fit the budget.
+        Returns a summary dict: rows dropped by kind and the before/after sizes.
+        """
+        before = self.size_bytes()
+        superseded = self._superseded_lines
+        corrupt = self._skipped_lines
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        evicted = 0
+        if budget is not None:
+            lines = {
+                fingerprint: len(json.dumps(record, sort_keys=True)) + 1
+                for fingerprint, record in self._records.items()
+            }
+            total = sum(lines.values())
+            if total > budget:
+                oldest_first = sorted(
+                    self._records.values(), key=lambda record: record.get("saved_unix", 0.0)
+                )
+                for record in oldest_first:
+                    if total <= budget:
+                        break
+                    fingerprint = record["fingerprint"]
+                    total -= lines[fingerprint]
+                    del self._records[fingerprint]
+                    evicted += 1
         self._rewrite()
+        return {
+            "superseded_dropped": superseded,
+            "corrupt_dropped": corrupt,
+            "evicted": evicted,
+            "bytes_before": before,
+            "bytes_after": self.size_bytes(),
+            "records": len(self._records),
+        }
 
     # ------------------------------------------------------------------ maintenance
     def merge(self, other: "ResultStore | str | os.PathLike") -> int:
@@ -186,6 +268,8 @@ class ResultStore:
             "path": str(self.path),
             "records": len(self._records),
             "skipped_lines": self._skipped_lines,
+            "superseded_lines": self._superseded_lines,
+            "size_bytes": self.size_bytes(),
             "configs": by_config,
             "workloads": by_workload,
         }

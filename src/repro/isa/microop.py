@@ -133,6 +133,10 @@ class MicroOp:
         if self.writes_flags:
             destinations += (regs.FLAGS_REG,)
         set_attr(self, "_destination_registers", destinations)
+        # Public precomputed aliases for the simulator's hot loops (one attribute
+        # load instead of a method call per dynamic use).
+        set_attr(self, "src_regs", sources)
+        set_attr(self, "dst_regs", destinations)
 
     # ------------------------------------------------------------------ helpers
     def source_registers(self) -> tuple[int, ...]:

@@ -84,12 +84,18 @@ class Cache:
         Misses allocate the line (write-allocate for stores as well); the caller is
         responsible for charging the next-level latency.
         """
-        line = self.line_address(address)
-        ways = self._sets[self._set_index(line)]
+        line = address // self.line_size
+        ways = self._sets[line % self.num_sets]
         if is_prefetch:
             self.stats.prefetches += 1
         else:
             self.stats.accesses += 1
+        if ways and ways[0] == line:
+            # Already most-recently-used (the dominant case for sequential
+            # instruction fetch): hit with no list reshuffle.
+            if not is_prefetch:
+                self.stats.hits += 1
+            return True
         if line in ways:
             if not is_prefetch:
                 self.stats.hits += 1

@@ -4,9 +4,19 @@ An :class:`InflightOp` wraps one :class:`~repro.isa.trace.DynInst` while it live
 machine, carrying the timing fields that the fetch, rename/dispatch, issue, execute and
 commit models fill in.  It is deliberately a plain ``__slots__`` record (not a
 dataclass) because hundreds of thousands of them are created per simulation.
+
+:class:`InflightOpPool` removes even that churn: records live in an append-only arena
+(an array of records addressed by ``slot`` index) and recycle through an integer
+free-list column, so a steady-state simulation allocates a bounded working set of
+records once and then reuses them.  Recycling is only safe once nothing can read a
+record any more — the pipeline enforces that with a retirement barrier (see
+:meth:`InflightOpPool.retire`), because younger issue-queue entries keep reading their
+producers' timing fields until they issue.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from repro.bpu.unit import BranchOutcome
 from repro.isa.trace import DynInst
@@ -31,9 +41,19 @@ class InflightOp:
         "issue_cycle",
         "complete_cycle",
         "commit_cycle",
+        # Wake-up shortcut: the cycle from which dependents may consume this µ-op's
+        # result (= result_available_cycle(), maintained eagerly at dispatch/issue so
+        # the issue scan reads one field per producer).
+        "avail_cycle",
+        # Issue-scan skip cache: the earliest cycle a known-unavailable producer
+        # becomes readable; scans before it skip this entry with one compare.
+        "wait_until",
+        # Number of issue-queue entries renamed against this µ-op that are still
+        # waiting to issue — a completion only needs to re-arm the issue scan when
+        # the completing producer actually has waiters.
+        "iq_waiters",
         # Dataflow.
         "producers",
-        "flags_producer",
         "mem_dependence",
         # Value prediction.
         "prediction",
@@ -51,22 +71,49 @@ class InflightOp:
         "dest_bank",
         "history_snapshot",
         "load_forwarded",
+        # Pooling: arena index (-1 when unpooled) and completion-wheel membership.
+        "slot",
+        "in_completion_wheel",
     )
 
     def __init__(self, dyn: DynInst) -> None:
+        self.slot = -1
+        # Fields the fetch stage overwrites before anything reads them — reset here
+        # for directly-constructed records, skipped by the pool's recycle path (the
+        # only acquire site is fetch, which assigns all of them immediately).
+        self.fetch_cycle = UNKNOWN_CYCLE
+        self.dispatch_ready_cycle = UNKNOWN_CYCLE
+        self.history_snapshot = 0
+        # Fields only ever read after a later stage wrote them (or by debugging /
+        # tests), plus the completion-wheel flag, which is invariantly False for any
+        # record on the free list (it is cleared when the stale entry pops, before
+        # the release).
+        self.issue_cycle = UNKNOWN_CYCLE
+        self.commit_cycle = UNKNOWN_CYCLE
+        self.in_completion_wheel = False
+        self._init(dyn)
+
+    def _init(self, dyn: DynInst) -> None:
+        """(Re)initialise the per-µ-op fields shared by ``__init__`` and the pool.
+
+        A recycled record must be indistinguishable from a freshly constructed one
+        on every path that can read it — the bit-identical determinism suite
+        compares pooled and unpooled simulations.  Fields listed in ``__init__``
+        are exempt only because fetch overwrites them before any read.
+        """
         self.dyn = dyn
         self.seq = dyn.seq
         self.pc = dyn.pc
         self.uop = dyn.uop
-        self.fetch_cycle = UNKNOWN_CYCLE
-        self.dispatch_ready_cycle = UNKNOWN_CYCLE
         self.dispatch_cycle = UNKNOWN_CYCLE
-        self.issue_cycle = UNKNOWN_CYCLE
         self.complete_cycle = UNKNOWN_CYCLE
-        self.commit_cycle = UNKNOWN_CYCLE
+        self.avail_cycle = UNKNOWN_CYCLE
+        self.wait_until = 0
+        self.iq_waiters = 0
         self.producers: tuple[InflightOp | None, ...] = ()
-        self.flags_producer: InflightOp | None = None
         self.mem_dependence: InflightOp | None = None
+        # Fetch only assigns predictions to VP-eligible µ-ops: clear here so a
+        # recycled record never pins (or leaks) another µ-op's prediction.
         self.prediction: VPrediction | None = None
         self.pred_used = False
         self.early_executed = False
@@ -77,7 +124,6 @@ class InflightOp:
         self.executed = False
         self.squashed = False
         self.dest_bank = 0
-        self.history_snapshot = 0
         self.load_forwarded = False
 
     # ------------------------------------------------------------------ dataflow helpers
@@ -102,3 +148,97 @@ class InflightOp:
             f"dispatch={self.dispatch_cycle}, issue={self.issue_cycle}, "
             f"complete={self.complete_cycle}, ee={self.early_executed}, le={self.late_executed})"
         )
+
+
+class InflightOpPool:
+    """Free-list pool of :class:`InflightOp` records over an array-of-records arena.
+
+    Storage is columnar in the pool's own bookkeeping: ``_arena`` is an append-only
+    array of records addressed by each record's ``slot`` index, ``_free`` is an integer
+    column of recyclable slots, and ``_deferred`` is the retirement queue of
+    ``(barrier_seq, slot)`` pairs.  Working-set behaviour: the arena grows to the
+    maximum number of simultaneously live (or deferred) µ-ops and is reused from then
+    on, eliminating per-µ-op allocation and collector churn in the fetch/dispatch/squash
+    paths.
+
+    Recycling protocol (enforced by the simulator):
+
+    * **squash** — a squashed µ-op is unreachable immediately (its consumers, being
+      younger, were squashed with it) and is released right away via :meth:`release`,
+      *unless* it still sits on the completion wheel, in which case the completion
+      handler releases it when its stale entry pops.
+    * **retire** — a retired µ-op may still be read by younger issue-queue entries
+      that renamed against it (operand wake-up reads ``complete_cycle`` /
+      ``dispatch_cycle``; the LE/VT port model reads ``dest_bank`` at their commit).
+      :meth:`retire` therefore parks the record behind a barrier: the largest sequence
+      number dispatched so far.  Once the ROB's oldest entry is younger than the
+      barrier, every possible reader has itself retired or squashed, and
+      :meth:`promote` moves the record to the free list.
+    """
+
+    __slots__ = ("_arena", "_free", "_deferred")
+
+    def __init__(self) -> None:
+        self._arena: list[InflightOp] = []
+        self._free: list[int] = []
+        self._deferred: deque[tuple[int, InflightOp]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._arena)
+
+    @property
+    def allocated(self) -> int:
+        """Records ever created (the arena's working-set size)."""
+        return len(self._arena)
+
+    @property
+    def free_count(self) -> int:
+        """Records currently on the free list."""
+        return len(self._free)
+
+    @property
+    def deferred_count(self) -> int:
+        """Retired records still parked behind their barrier."""
+        return len(self._deferred)
+
+    # ------------------------------------------------------------------ acquire / release
+    def acquire(self, dyn: DynInst) -> InflightOp:
+        """A fresh record for ``dyn`` — recycled when possible, arena-grown otherwise."""
+        free = self._free
+        if free:
+            op = self._arena[free.pop()]
+            op._init(dyn)
+            return op
+        op = InflightOp(dyn)
+        op.slot = len(self._arena)
+        self._arena.append(op)
+        return op
+
+    def release(self, op: InflightOp) -> None:
+        """Return ``op`` to the free list immediately (squash path)."""
+        self._free.append(op.slot)
+
+    def retire(self, op: InflightOp, barrier_seq: int) -> None:
+        """Park a retired record until every µ-op dispatched before it has drained.
+
+        ``barrier_seq`` is the highest sequence number dispatched at retirement time;
+        barriers are therefore non-decreasing and the deferred queue stays sorted.
+        """
+        self._deferred.append((barrier_seq, op))
+
+    def promote(self, oldest_inflight_seq: int | None) -> None:
+        """Move deferred records whose barrier has drained onto the free list.
+
+        ``oldest_inflight_seq`` is the ROB head's sequence number, or ``None`` when
+        the ROB is empty (every deferred record is then promotable).
+        """
+        deferred = self._deferred
+        if not deferred:
+            return
+        free = self._free
+        if oldest_inflight_seq is None:
+            while deferred:
+                free.append(deferred.popleft()[1].slot)
+            return
+        while deferred and deferred[0][0] < oldest_inflight_seq:
+            free.append(deferred.popleft()[1].slot)

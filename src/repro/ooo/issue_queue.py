@@ -25,6 +25,12 @@ class IssueQueue:
         self._entries: list[InflightOp] = []
         self.peak_occupancy = 0
         self.full_stall_events = 0
+        #: Byproduct of the last :meth:`select_ready` walk: the earliest future
+        #: dispatch-maturity deadline among the entries it examined (``None`` when
+        #: every examined entry was already mature).  Only meaningful when the walk
+        #: covered the whole queue, i.e. when the issue width was *not* exhausted —
+        #: the simulator only consults it in exactly those cases.
+        self.next_immature_cycle: int | None = None
 
     # ------------------------------------------------------------------ capacity
     def __len__(self) -> int:
@@ -46,10 +52,25 @@ class IssueQueue:
         self._entries.append(op)
         if len(self._entries) > self.peak_occupancy:
             self.peak_occupancy = len(self._entries)
+        for producer in op.producers:
+            if producer is not None:
+                producer.iq_waiters += 1
+
+    def _release_waiters(self, op: InflightOp) -> None:
+        """Undo the producer waiter accounting of an entry leaving the queue."""
+        for producer in op.producers:
+            if producer is not None:
+                producer.iq_waiters -= 1
 
     def remove_squashed(self) -> None:
         """Drop entries that have been squashed by a pipeline flush."""
-        self._entries = [op for op in self._entries if not op.squashed]
+        kept = []
+        for op in self._entries:
+            if op.squashed:
+                self._release_waiters(op)
+            else:
+                kept.append(op)
+        self._entries = kept
 
     # ------------------------------------------------------------------ select
     def select(
@@ -77,6 +98,7 @@ class IssueQueue:
                 remaining.append(op)
                 continue
             if op.squashed:
+                self._release_waiters(op)
                 continue
             if not is_ready(op, cycle):
                 remaining.append(op)
@@ -87,6 +109,7 @@ class IssueQueue:
             op.issued = True
             op.issue_cycle = cycle
             op.in_issue_queue = False
+            self._release_waiters(op)
             selected.append(op)
         self._entries = remaining
         return selected
@@ -107,11 +130,14 @@ class IssueQueue:
         memory dependences) avoids several function calls per waiting µ-op per cycle.
         """
         entries = self._entries
+        self.next_immature_cycle = None
         if not entries or issue_width <= 0:
             return []
         selected: list[InflightOp] = []
-        remaining: list[InflightOp] = []
-        append_remaining = remaining.append
+        # ``remaining`` is created lazily at the first *removed* entry (a selection
+        # or a squashed drop): the common nothing-issues scan then touches no lists
+        # at all, and the queue object is left as-is.
+        remaining: list[InflightOp] | None = None
         try_issue = fu_pool.try_issue
         width_left = issue_width
         for position, op in enumerate(entries):
@@ -121,49 +147,77 @@ class IssueQueue:
                 remaining.extend(entries[position:])
                 break
             if op.squashed:
+                self._release_waiters(op)
+                if remaining is None:
+                    remaining = entries[:position]
                 continue
             if cycle < op.dispatch_cycle + dispatch_to_issue_latency:
-                append_remaining(op)
+                # Entries are in dispatch order, so the first immature entry
+                # carries the earliest maturity deadline — and everything after it
+                # is immature too: stop the walk wholesale.
+                self.next_immature_cycle = op.dispatch_cycle + dispatch_to_issue_latency
+                if remaining is not None:
+                    remaining.extend(entries[position:])
+                break
+            if cycle < op.wait_until:
+                # A previous scan saw a producer with a known future availability;
+                # re-walking the producers before that cycle cannot succeed.
+                if remaining is not None:
+                    remaining.append(op)
                 continue
             ready = True
             for producer in op.producers:
                 if producer is None:
                     continue
-                if producer.pred_used or producer.early_executed:
-                    available = producer.dispatch_cycle
-                else:
-                    available = producer.complete_cycle
-                if available == UNKNOWN_CYCLE or available > cycle:
+                # ``avail_cycle`` is maintained eagerly (dispatch for predicted /
+                # early-executed results, issue for everything else), so operand
+                # wake-up is a single field read per producer.
+                available = producer.avail_cycle
+                if available == UNKNOWN_CYCLE:
+                    ready = False
+                    break
+                if available > cycle:
+                    op.wait_until = available
                     ready = False
                     break
             if not ready:
-                append_remaining(op)
+                if remaining is not None:
+                    remaining.append(op)
                 continue
             uop = op.uop
             if uop.is_load:
                 dependence = op.mem_dependence
                 if dependence is not None and not dependence.squashed and not dependence.issued:
-                    append_remaining(op)
+                    if remaining is not None:
+                        remaining.append(op)
                     continue
             if not try_issue(uop.opclass, cycle, uop.latency):
-                append_remaining(op)
+                if remaining is not None:
+                    remaining.append(op)
                 continue
             op.issued = True
             op.issue_cycle = cycle
             op.in_issue_queue = False
+            for producer in op.producers:
+                if producer is not None:
+                    producer.iq_waiters -= 1
+            if remaining is None:
+                remaining = entries[:position]
             selected.append(op)
             width_left -= 1
-        self._entries = remaining
+        if remaining is not None:
+            self._entries = remaining
         return selected
 
     def next_maturity_cycle(self, cycle: int, dispatch_to_issue_latency: int) -> int | None:
         """Earliest future cycle at which a currently-immature entry matures.
 
-        Used by the simulator's issue-scan gating: an entry dispatched at ``D``
-        cannot be selected before ``D + dispatch_to_issue_latency``, which is a
-        wake-up deadline no pipeline *event* announces — so a scan that found
-        nothing must re-arm on it explicitly.  Returns ``None`` when every entry is
-        already past its dispatch-to-issue latency.
+        Reference implementation for :attr:`next_immature_cycle`, which
+        :meth:`select_ready` produces as a byproduct of its walk (entries are in
+        dispatch order, so the first immature entry carries the earliest
+        deadline); the simulator's issue-scan gating re-arms on it when a scan
+        leaves no immediately-issuable work behind.  Returns ``None`` when every
+        entry is already past its dispatch-to-issue latency.
         """
         next_cycle: int | None = None
         for op in self._entries:

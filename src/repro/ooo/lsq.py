@@ -12,20 +12,26 @@ out-of-order; the LSQ is responsible for
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.errors import ConfigurationError
 from repro.ooo.inflight import InflightOp
 
 
 class LoadStoreQueue:
-    """Combined model of the load queue and store queue."""
+    """Combined model of the load queue and store queue.
+
+    Both queues are deques in dispatch (= commit) order: the common commit-time
+    removal pops the oldest entry in O(1) instead of shifting the whole queue.
+    """
 
     def __init__(self, lq_capacity: int = 48, sq_capacity: int = 48) -> None:
         if lq_capacity <= 0 or sq_capacity <= 0:
             raise ConfigurationError("LQ/SQ capacities must be positive")
         self.lq_capacity = lq_capacity
         self.sq_capacity = sq_capacity
-        self._loads: list[InflightOp] = []
-        self._stores: list[InflightOp] = []
+        self._loads: deque[InflightOp] = deque()
+        self._stores: deque[InflightOp] = deque()
         self.forwarded_loads = 0
         self.violations = 0
         self.peak_lq_occupancy = 0
@@ -61,22 +67,29 @@ class LoadStoreQueue:
             self.peak_sq_occupancy = max(self.peak_sq_occupancy, len(self._stores))
 
     def remove(self, op: InflightOp) -> None:
-        """Remove a memory µ-op at commit time."""
+        """Remove a memory µ-op at commit time.
+
+        Commit is in order, so ``op`` is the queue head in the common case; the
+        linear fallback only runs for out-of-band removals (dispatch rollback).
+        """
         if op.uop.is_load:
-            try:
-                self._loads.remove(op)
-            except ValueError:
-                pass
+            queue = self._loads
         elif op.uop.is_store:
-            try:
-                self._stores.remove(op)
-            except ValueError:
-                pass
+            queue = self._stores
+        else:
+            return
+        if queue and queue[0] is op:
+            queue.popleft()
+            return
+        try:
+            queue.remove(op)
+        except ValueError:
+            pass
 
     def remove_squashed(self) -> None:
         """Drop squashed entries after a pipeline flush."""
-        self._loads = [op for op in self._loads if not op.squashed]
-        self._stores = [op for op in self._stores if not op.squashed]
+        self._loads = deque(op for op in self._loads if not op.squashed)
+        self._stores = deque(op for op in self._stores if not op.squashed)
 
     # ------------------------------------------------------------------ forwarding & ordering
     def forwarding_store(self, load: InflightOp) -> InflightOp | None:

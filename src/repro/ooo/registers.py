@@ -98,9 +98,13 @@ class BankedRegisterFile:
         if self._allocated[bank] > 0:
             self._allocated[bank] -= 1
 
-    def record_bank_full_stall(self) -> None:
-        """Account a rename stall caused by an exhausted bank (Fig. 10's unbalancing)."""
-        self.bank_full_stalls += 1
+    def record_bank_full_stall(self, cycles: int = 1) -> None:
+        """Account rename stalls caused by an exhausted bank (Fig. 10's unbalancing).
+
+        ``cycles`` lets the event-driven scheduler credit a whole skipped stall span
+        at once (the reference loop counts one per stalled cycle).
+        """
+        self.bank_full_stalls += cycles
 
     def occupancy(self, bank: int) -> int:
         """Physical registers currently in use in ``bank`` (including architectural)."""
@@ -135,6 +139,16 @@ class BankedRegisterFile:
         if limit is None or not banks:
             return True
         self._roll_cycle(cycle)
+        if len(banks) == 1:
+            # Single-read fast path (the dominant case: validation-only µ-ops),
+            # including the general path's monopolise-an-idle-bank rule.
+            bank = banks[0]
+            used = self._levt_reads_used[bank]
+            if used + 1 > limit and not (limit < 1 and used == 0):
+                self.levt_read_port_stalls += 1
+                return False
+            self._levt_reads_used[bank] = min(self.registers_per_bank, used + 1)
+            return True
         needed: dict[int, int] = {}
         for bank in banks:
             needed[bank] = needed.get(bank, 0) + 1

@@ -67,6 +67,21 @@ class StoreSets:
         if self._lfst[index] is store:
             self._lfst[index] = None
 
+    def store_retired(self, store: InflightOp) -> None:
+        """Drop any remaining LFST reference to a retiring store.
+
+        Observably a no-op — a retired store has ``issued`` set, so
+        :meth:`dependence_for_load` already ignored it — but required by the
+        :class:`~repro.ooo.inflight.InflightOpPool` recycling protocol: a recycled
+        record must not linger in the LFST where it could alias a later µ-op.
+        """
+        set_id = self._ssit[self._ssit_index(store.pc)]
+        if set_id == self._INVALID:
+            return
+        index = self._lfst_index(set_id)
+        if self._lfst[index] is store:
+            self._lfst[index] = None
+
     # ------------------------------------------------------------------ training
     def train_violation(self, load_pc: int, store_pc: int) -> None:
         """Assign the violating load and store to a common store set."""

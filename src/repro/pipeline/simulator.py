@@ -19,12 +19,26 @@ Each simulated cycle processes, in order:
 5. **fetch** — up to ``fetch_width`` µ-ops enter the front-end, consulting the branch
    predictor and the value predictor.
 
+The main loop is **event-driven**: after each simulated cycle the scheduler computes
+the earliest future cycle at which *any* stage could make progress or mutate state (a
+completion firing, the ROB head's minimum commit cycle, the issue scan's re-arm cycle,
+the front-end head's dispatch-maturity deadline, the fetch resume point) and jumps
+``cycle`` directly there, crediting the skipped span in bulk to the per-cycle counters
+(``stats.cycles``, plus the recurring dispatch structural-stall counter when the
+front-end is blocked on a full ROB/LSQ/PRF bank).  The result is byte-identical to
+stepping every cycle — ``REPRO_EVENT_DRIVEN=0`` retains the cycle-stepping loop as the
+reference, and ``tests/trace/test_simulation_determinism.py`` compares the two across a
+configuration × workload grid.
+
 See DESIGN.md §5 for the modelling assumptions (wrong-path effects, speculative
-scheduling) and their justification.
+scheduling) and their justification, and docs/performance.md for the event-wheel
+design and its dead-cycle/stat-crediting rules.
 """
 
 from __future__ import annotations
 
+import gc
+import os
 from collections import deque
 from collections.abc import Iterable, Iterator
 
@@ -42,7 +56,7 @@ from repro.isa.program import Program
 from repro.isa.trace import DynInst
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.ooo.functional_units import FunctionalUnitPool
-from repro.ooo.inflight import InflightOp, UNKNOWN_CYCLE
+from repro.ooo.inflight import InflightOp, InflightOpPool, UNKNOWN_CYCLE
 from repro.ooo.issue_queue import IssueQueue
 from repro.ooo.lsq import LoadStoreQueue
 from repro.ooo.registers import BankedRegisterFile, PRFPortBudget
@@ -51,6 +65,15 @@ from repro.ooo.store_sets import StoreSets
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.stats import SimStats, SimulationResult
 from repro.trace.encoding import CapturedTrace
+
+#: Environment variable: ``0`` selects the cycle-stepping reference loop instead of
+#: the event-driven scheduler (both produce byte-identical results).
+EVENT_DRIVEN_ENV_VAR = "REPRO_EVENT_DRIVEN"
+
+
+def event_driven_enabled() -> bool:
+    """True unless ``REPRO_EVENT_DRIVEN=0`` selects the cycle-stepping reference."""
+    return os.environ.get(EVENT_DRIVEN_ENV_VAR, "1") != "0"
 
 
 class Simulator:
@@ -155,46 +178,222 @@ class Simulator:
         self._fetch_blocked_on: InflightOp | None = None
         self._finished = False
 
+        # Pooled µ-op records: fetch acquires, retire/squash give back (retire goes
+        # through a barrier — younger IQ entries keep reading their producers).
+        self.pool = InflightOpPool()
+        self._last_dispatched_seq = -1
+
+        # Event-driven scheduling state.  ``_dispatch_stall_reason`` is non-None
+        # exactly when dispatch ended the cycle stalled on a structural resource with
+        # *zero* progress — a state that provably recurs (and counts one stall per
+        # cycle) until some other pipeline event frees the resource, which is what
+        # lets the scheduler credit those cycles in bulk instead of ticking them.
+        self._event_driven = event_driven_enabled()
+        self._dispatch_stall_reason: str | None = None
+
     # ================================================================== public API
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return its result."""
         deadlock_limit = (
             self.max_uops * self._DEADLOCK_CYCLES_PER_UOP + self._DEADLOCK_SLACK_CYCLES
         )
+        # The simulation allocates no reference cycles on its hot paths (records are
+        # pooled, prediction/outcome objects are acyclic), so the generational
+        # collector's periodic heap walks are pure overhead while it runs.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if self._event_driven:
+                self._run_event_driven(deadlock_limit)
+            else:
+                while not self._finished:
+                    self._step()
+                    if self.cycle > deadlock_limit:
+                        self._raise_deadlock(deadlock_limit)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return self._build_result()
+
+    def _raise_deadlock(self, deadlock_limit: int) -> None:
+        raise SimulationError(
+            f"simulation exceeded {deadlock_limit} cycles "
+            f"({self.stats.committed_uops} µ-ops committed): likely deadlock"
+        )
+
+    def _run_event_driven(self, deadlock_limit: int) -> None:
+        """The event-wheel main loop: step on event cycles, jump over dead spans.
+
+        Invariant: a skipped cycle is one where the cycle-stepping loop would only
+        have incremented ``stats.cycles`` (and, when dispatch is parked on a
+        structural stall, one stall counter) — every candidate source in
+        :meth:`_next_event_cycle` is conservative, so any cycle that could mutate
+        other state is stepped normally.
+        """
         while not self._finished:
             self._step()
             if self.cycle > deadlock_limit:
-                raise SimulationError(
-                    f"simulation exceeded {deadlock_limit} cycles "
-                    f"({self.stats.committed_uops} µ-ops committed): likely deadlock"
-                )
-        return self._build_result()
+                self._raise_deadlock(deadlock_limit)
+            if self._finished:
+                break
+            target = self._next_event_cycle()
+            if target > deadlock_limit + 1:
+                # No event before the deadlock horizon: step once at the horizon so
+                # the reference loop's failure mode (and cycle accounting) is kept.
+                target = deadlock_limit + 1
+            gap = target - self.cycle - 1
+            if gap > 0:
+                self._skip_dead_cycles(gap)
+
+    #: Sentinel for "no known future event" (also used by the issue-scan gating).
+    _NEVER = 1 << 62
+
+    def _next_event_cycle(self) -> int:
+        """Earliest future cycle at which any pipeline stage could make progress.
+
+        Candidate sources, mirroring the stage order of :meth:`_step`:
+
+        * **completions** — the earliest pending entry of the completion wheel;
+        * **commit** — if the ROB head has executed, its minimum commit cycle
+          (``complete_cycle`` plus the writeback/LE-VT latency); a head already past
+          it is stalled on per-cycle-counted width/port/ALU limits and re-arms next
+          cycle.  A head that has *not* executed needs a completion or an issue
+          first, which the other candidates cover;
+        * **issue** — ``_iq_scan_from``, the scan re-arm cycle maintained by
+          :meth:`_issue` (dispatch-maturity deadline or an event having lowered it);
+        * **dispatch** — the front-end head's ``dispatch_ready_cycle``; a head that
+          is already dispatch-ready re-arms next cycle *unless* the stage is parked
+          on a recurring structural stall, which only another stage's event can
+          clear (the skipped span is then credited to that stall counter);
+        * **fetch** — the fetch resume point, whenever fetch is unblocked, the trace
+          has µ-ops left and the front-end has room (fetch otherwise resumes only as
+          a consequence of one of the other events).
+        """
+        cycle = self.cycle
+        nxt = self._NEVER
+        completions = self._completions
+        if completions:
+            nxt = min(completions)
+        head = self.rob.head()
+        if head is not None and head.executed:
+            ready = head.complete_cycle + self._commit_extra
+            candidate = ready if ready > cycle else cycle + 1
+            if candidate < nxt:
+                nxt = candidate
+        scan = self._iq_scan_from
+        if scan != self._NEVER:
+            candidate = scan if scan > cycle else cycle + 1
+            if candidate < nxt:
+                nxt = candidate
+        frontend = self._frontend
+        if frontend:
+            ready = frontend[0].dispatch_ready_cycle
+            if ready > cycle:
+                if ready < nxt:
+                    nxt = ready
+            elif self._dispatch_stall_reason is None:
+                if cycle + 1 < nxt:
+                    nxt = cycle + 1
+        if (
+            self._fetch_blocked_on is None
+            and (self._replay or not self._trace_exhausted)
+            and len(frontend) < self.config.frontend_capacity
+        ):
+            resume = self._fetch_resume_cycle
+            candidate = resume if resume > cycle else cycle + 1
+            if candidate < nxt:
+                nxt = candidate
+        return nxt
+
+    def _skip_dead_cycles(self, gap: int) -> None:
+        """Jump over ``gap`` provably-dead cycles, crediting per-cycle counters.
+
+        A dead cycle, stepped by the reference loop, would increment
+        ``stats.cycles``, clear the previous-dispatch bypass group, and — when the
+        front-end head is dispatch-ready but structurally blocked — count exactly one
+        dispatch stall against the blocking resource.  Everything else is untouched
+        by construction (see :meth:`_next_event_cycle`), so those effects are applied
+        in bulk here.
+        """
+        self.cycle += gap
+        self.stats.cycles += gap
+        self._previous_dispatch_group = []
+        reason = self._dispatch_stall_reason
+        if reason is not None:
+            # Mirrors _count_dispatch_stall (the per-cycle reference), credited gap
+            # cycles at once.
+            if reason == "rob":
+                self.stats.rob_full_stalls += gap
+            elif reason == "lsq":
+                self.stats.lsq_full_stalls += gap
+            elif reason == "prf":
+                self.stats.prf_bank_stalls += gap
+                self.prf.record_bank_full_stall(gap)
+            else:  # pragma: no cover - _dispatch only parks on the reasons above
+                raise SimulationError(f"unknown dispatch stall reason {reason!r}")
 
     def _step(self) -> None:
-        """Advance the machine by one cycle."""
-        self.cycle += 1
+        """Advance the machine by one cycle.
+
+        Each stage call is preceded by an inline guard replicating that stage's own
+        no-work early-exit, so a cycle in which a stage provably does nothing pays
+        one comparison instead of a call (the stages keep their early-exits and
+        remain callable on their own — the guards are pure short-circuits).
+        """
+        cycle = self.cycle + 1
+        self.cycle = cycle
         self.stats.cycles += 1
-        self._process_completions()
-        if self._finished:
-            return
-        self._commit()
-        if self._finished:
-            return
-        self._issue()
-        self._dispatch()
-        self._fetch()
-        self._check_run_end()
+        if self._completions and cycle in self._completions:
+            self._process_completions()
+            if self._finished:
+                return
+        rob_entries = self.rob._entries
+        if rob_entries:
+            head = rob_entries[0]
+            if head.executed and cycle >= head.complete_cycle + self._commit_extra:
+                self._commit()
+                if self._finished:
+                    return
+        if cycle >= self._iq_scan_from:
+            self._issue()
+        frontend = self._frontend
+        if frontend and frontend[0].dispatch_ready_cycle <= cycle:
+            self._dispatch()
+        else:
+            self._previous_dispatch_group = []
+            self._dispatch_stall_reason = None
+        if (
+            self._fetch_blocked_on is None
+            and cycle >= self._fetch_resume_cycle
+            and len(frontend) < self.config.frontend_capacity
+        ):
+            self._fetch()
+        if (
+            self._trace_exhausted
+            and not self._replay
+            and not frontend
+            and not rob_entries
+        ):
+            self._finished = True
 
     # ================================================================== completion
     def _process_completions(self) -> None:
         ops = self._completions.pop(self.cycle, None)
         if not ops:
             return
-        if self.cycle < self._iq_scan_from:
-            # Completed producers may wake IQ entries this very cycle.
-            self._iq_scan_from = self.cycle
         for op in ops:
+            op.in_completion_wheel = False
+            if op.iq_waiters and not op.squashed and self.cycle < self._iq_scan_from:
+                # The completed producer has waiting IQ consumers: they may wake
+                # this very cycle.  (Completions nobody renamed against — stores,
+                # branches, dead values — never need to re-arm the scan: store-set
+                # dependences release at store *issue*, not completion.)
+                self._iq_scan_from = self.cycle
             if op.squashed:
+                # A squashed µ-op's stale wheel entry was its last reference; its
+                # record is recyclable the moment the entry pops.
+                self.pool.release(op)
                 continue
             op.executed = True
             if op is self._fetch_blocked_on:
@@ -224,11 +423,13 @@ class Simulator:
         cycle = self.cycle
         commit_extra = self._commit_extra
         late_alu_limit = self.late_block.config.alus
-        rob = self.rob
+        # The head peek/pop pair runs once per committed µ-op: the deque is read
+        # directly (same entries ReorderBuffer.head/pop_head expose).
+        rob_entries = self.rob._entries
         while committed < self.config.commit_width:
-            op = rob.head()
-            if op is None:
+            if not rob_entries:
                 break
+            op = rob_entries[0]
             if not op.executed:
                 break
             if cycle < op.complete_cycle + commit_extra:
@@ -244,7 +445,7 @@ class Simulator:
                     break
 
             # The µ-op retires this cycle.
-            rob.pop_head()
+            rob_entries.popleft()
             op.commit_cycle = cycle
             committed += 1
             if op.late_executed:
@@ -273,6 +474,9 @@ class Simulator:
             stats.committed_stores += 1
             if op.dyn.addr is not None:
                 self.hierarchy.store(op.dyn.addr, op.pc, self.cycle)
+            # Scrub any remaining LFST reference before the record is recycled
+            # (observably a no-op: a retired store already has ``issued`` set).
+            self.store_sets.store_retired(op)
         if uop.vp_eligible:
             stats.committed_vp_eligible += 1
         if op.early_executed:
@@ -286,7 +490,7 @@ class Simulator:
             stats.predictions_used += 1
 
         # Free the rename mapping and the physical register.
-        for dst in uop.destination_registers():
+        for dst in uop.dst_regs:
             if self._rename_map.get(dst) is op:
                 del self._rename_map[dst]
         if uop.dst is not None:
@@ -317,6 +521,12 @@ class Simulator:
         if stats.committed_uops >= self.max_uops:
             self._finished = True
 
+        # Park the record for recycling.  Younger IQ entries renamed against this
+        # µ-op keep reading its timing fields until they issue, and the LE/VT port
+        # model reads its destination bank when they commit — all of them were
+        # dispatched by now, so the current dispatch high-water mark is the barrier.
+        self.pool.retire(op, self._last_dispatched_seq)
+
     def _validate_and_train(self, op: InflightOp) -> bool:
         """Prediction validation + predictor training; returns True if a squash occurred."""
         if self.predictor is None or not op.uop.vp_eligible or op.dyn.result is None:
@@ -345,7 +555,7 @@ class Simulator:
         for producer in op.producers:
             if producer is None:
                 continue
-            available = producer.result_available_cycle()
+            available = producer.avail_cycle
             if available == UNKNOWN_CYCLE or available > cycle:
                 return False
         return True
@@ -364,9 +574,6 @@ class Simulator:
     def _execution_latency(self, op: InflightOp) -> int:
         return op.uop.latency
 
-    #: Sentinel for "no known future event can make an IQ entry ready".
-    _NEVER = 1 << 62
-
     def _issue(self) -> None:
         cycle = self.cycle
         if cycle < self._iq_scan_from:
@@ -375,27 +582,47 @@ class Simulator:
         # above (kept as the reference implementation) into the IQ walk.
         fu_pool = self.fu_pool
         rejects_before = fu_pool.structural_rejects
+        issue_width = self.config.issue_width
         selected = self.iq.select_ready(
             cycle,
-            self.config.issue_width,
+            issue_width,
             fu_pool,
             self.config.dispatch_to_issue_latency,
         )
         if selected:
-            # Issuing frees width/units next cycle and resolves mem dependences.
-            self._iq_scan_from = cycle + 1
             for op in selected:
                 self._start_execution(op)
+            # A rescan next cycle is only needed when this select could have left
+            # newly-issuable work behind: the width ran out (unexamined entries may
+            # be ready), a ready µ-op lost its functional unit, or an issued store
+            # released a store-set dependence (dependent loads become ready at
+            # once).  Otherwise every remaining entry is immature or waiting on a
+            # completion/dispatch/squash event, exactly as in the empty-scan case.
+            rescan_next = (
+                len(selected) == issue_width
+                or fu_pool.structural_rejects != rejects_before
+            )
+            if not rescan_next:
+                for op in selected:
+                    if op.uop.is_store:
+                        rescan_next = True
+                        break
+            if rescan_next:
+                self._iq_scan_from = cycle + 1
+            else:
+                # The width was not exhausted, so the walk covered the whole queue:
+                # its observed earliest maturity deadline is the next scan cycle.
+                mature_at = self.iq.next_immature_cycle
+                self._iq_scan_from = mature_at if mature_at is not None else self._NEVER
         elif fu_pool.structural_rejects != rejects_before:
             # A ready µ-op lost its functional unit; retry when the pool resets.
             self._iq_scan_from = cycle + 1
         else:
             # Nothing can issue until an event (completion/dispatch/squash) fires —
             # except entries still inside the dispatch-to-issue latency, whose
-            # maturity is a known deadline no event announces.  Re-arm on it.
-            mature_at = self.iq.next_maturity_cycle(
-                cycle, self.config.dispatch_to_issue_latency
-            )
+            # maturity is a known deadline no event announces.  Re-arm on it
+            # (tracked as a byproduct of the walk that just found nothing).
+            mature_at = self.iq.next_immature_cycle
             self._iq_scan_from = mature_at if mature_at is not None else self._NEVER
 
     def _start_execution(self, op: InflightOp) -> None:
@@ -413,12 +640,23 @@ class Simulator:
             op.complete_cycle = cycle + 1
         else:
             op.complete_cycle = cycle + uop.latency
-        self._completions.setdefault(op.complete_cycle, []).append(op)
+        if not op.pred_used:
+            # Predicted results stay available from dispatch; everything else
+            # becomes consumable when execution completes.
+            op.avail_cycle = op.complete_cycle
+        op.in_completion_wheel = True
+        completions = self._completions
+        wheel_slot = completions.get(op.complete_cycle)
+        if wheel_slot is None:
+            completions[op.complete_cycle] = [op]
+        else:
+            wheel_slot.append(op)
 
     # ================================================================== rename / dispatch
     def _dispatch(self) -> None:
         cycle = self.cycle
         frontend = self._frontend
+        self._dispatch_stall_reason = None
         if not frontend or frontend[0].dispatch_ready_cycle > cycle:
             self._previous_dispatch_group = []
             return
@@ -430,73 +668,97 @@ class Simulator:
         lsq = self.lsq
         prf = self.prf
         stats = self.stats
+        # Hot-path views of the structural resources (the methods on ReorderBuffer /
+        # LoadStoreQueue / BankedRegisterFile remain the reference implementations;
+        # phase A/B runs once per dispatched µ-op and inlines them).
+        rob_entries = rob._entries
+        rob_capacity = rob.capacity
+        lsq_loads = lsq._loads
+        lsq_stores = lsq._stores
+        lq_capacity = lsq.lq_capacity
+        sq_capacity = lsq.sq_capacity
+        prf_allocated = prf._allocated
         group: list[InflightOp] = []
-        # Phase A/B: pull dispatch-ready µ-ops, rename them against a local overlay.
-        local_map: dict[int, InflightOp] = {}
-        while (
-            len(group) < rename_width
-            and frontend
-            and frontend[0].dispatch_ready_cycle <= cycle
-        ):
+        # Phase A/B: pull dispatch-ready µ-ops and rename them.  Intra-group
+        # producers are visible through ``rename_map`` itself — every destination is
+        # written to it immediately and nothing is deleted mid-group, so a separate
+        # local overlay would always agree with it.
+        while len(group) < rename_width and frontend:
             op = frontend[0]
+            if op.dispatch_ready_cycle > cycle:
+                break
             uop = op.uop
             # Structural space checks (see _structural_space_for_op, kept as the
-            # reference implementation).
-            if not rob.has_space():
+            # reference implementation).  A stall hit before *any* progress parks
+            # the stage: the identical check fails every cycle (one stall counted
+            # per cycle) until another stage's event frees the resource, which the
+            # event scheduler exploits by crediting skipped spans in bulk.
+            if len(rob_entries) >= rob_capacity:
                 stats.rob_full_stalls += 1
+                if not group:
+                    self._dispatch_stall_reason = "rob"
                 break
-            if uop.is_memory and not lsq.has_space(op):
+            if uop.is_memory and (
+                len(lsq_loads) >= lq_capacity
+                if uop.is_load
+                else len(lsq_stores) >= sq_capacity
+            ):
                 stats.lsq_full_stalls += 1
+                if not group:
+                    self._dispatch_stall_reason = "lsq"
                 break
             if uop.dst is not None and multi_bank and not prf.can_allocate():
                 stats.prf_bank_stalls += 1
                 prf.record_bank_full_stall()
+                if not group:
+                    self._dispatch_stall_reason = "prf"
                 break
             frontend.popleft()
-            # Rename against the local overlay first, then the global map (unrolled
-            # for the dominant 0/1/2-source shapes; local_map never stores None).
-            sources = uop.source_registers()
+            # Rename (unrolled for the dominant 0/1/2-source shapes).
+            sources = uop.src_regs
             if not sources:
                 producers: tuple[InflightOp | None, ...] = ()
             elif len(sources) == 1:
-                reg = sources[0]
-                producer = local_map.get(reg)
-                if producer is None:
-                    producer = rename_map.get(reg)
-                producers = (producer,)
+                producers = (rename_map.get(sources[0]),)
             elif len(sources) == 2:
                 reg_a, reg_b = sources
-                producer_a = local_map.get(reg_a)
-                if producer_a is None:
-                    producer_a = rename_map.get(reg_a)
-                producer_b = local_map.get(reg_b)
-                if producer_b is None:
-                    producer_b = rename_map.get(reg_b)
-                producers = (producer_a, producer_b)
+                producers = (rename_map.get(reg_a), rename_map.get(reg_b))
             else:
-                producers = tuple(
-                    local_map.get(reg, rename_map.get(reg)) for reg in sources
-                )
+                producers = tuple(rename_map.get(reg) for reg in sources)
             op.producers = producers
-            for dst in uop.destination_registers():
-                local_map[dst] = op
+            for dst in uop.dst_regs:
                 rename_map[dst] = op
             group.append(op)
             # Structural allocation happens immediately so the next iteration's space
             # checks see it (ROB/LSQ/PRF are per-µ-op resources, not per-group).
-            rob.push(op)
+            rob_entries.append(op)
+            if len(rob_entries) > rob.peak_occupancy:
+                rob.peak_occupancy = len(rob_entries)
             if uop.is_memory:
-                lsq.insert(op)
-            if uop.dst is not None:
-                op.dest_bank = prf.next_bank()
-                prf.allocate()
-            else:
-                prf.advance_without_allocation()
+                if uop.is_load:
+                    lsq_loads.append(op)
+                    if len(lsq_loads) > lsq.peak_lq_occupancy:
+                        lsq.peak_lq_occupancy = len(lsq_loads)
+                elif uop.is_store:
+                    lsq_stores.append(op)
+                    if len(lsq_stores) > lsq.peak_sq_occupancy:
+                        lsq.peak_sq_occupancy = len(lsq_stores)
+            if multi_bank:
+                if uop.dst is not None:
+                    op.dest_bank = prf.next_bank()
+                    prf.allocate()
+                else:
+                    prf.advance_without_allocation()
+            elif uop.dst is not None:
+                # Single-bank PRF: the allocation pointer never moves and the
+                # destination bank is always 0 (the record's reset default).
+                prf_allocated[0] += 1
             op.dispatch_cycle = cycle
 
         if not group:
             self._previous_dispatch_group = []
             return
+        self._last_dispatched_seq = group[-1].seq
 
         # Phase C: Early Execution planning (in parallel with rename).
         if config.eole.early.enabled:
@@ -506,14 +768,22 @@ class Simulator:
         late_enabled = config.eole.late.enabled
         late_block = self.late_block
         iq = self.iq
+        iq_entries = iq._entries
+        iq_capacity = iq.capacity
         store_sets = self.store_sets
         nop_class = OpClass.NOP
         for op in group:
             uop = op.uop
-            if late_enabled:
+            pred_used = op.pred_used
+            if late_enabled and (pred_used or uop.is_conditional_branch):
+                # Pre-filter: only predicted µ-ops and conditional branches can be
+                # late-executable (classify returns False for everything else).
                 late_block.classify(op)
-            if (op.pred_used or op.early_executed) and uop.dst is not None:
-                if not prf.try_ee_write(op.dest_bank, cycle):
+            if pred_used or op.early_executed:
+                # The result is written to the PRF at dispatch: dependents may
+                # consume it from this cycle on (mirrors result_available_cycle).
+                op.avail_cycle = cycle
+                if uop.dst is not None and not prf.try_ee_write(op.dest_bank, cycle):
                     # Port pressure delays the write by a cycle; modelled as a slight
                     # dispatch-side stall statistic rather than a structural replay.
                     stats.ee_write_port_stalls += 1
@@ -522,12 +792,18 @@ class Simulator:
                 op.complete_cycle = op.dispatch_cycle
                 op.executed = True
             else:
-                if not iq.has_space():
+                if len(iq_entries) >= iq_capacity:
                     stats.iq_full_stalls += 1
                     self._rollback_undispatched(group, group.index(op))
                     group = group[: group.index(op)]
                     break
-                iq.insert(op)
+                op.in_issue_queue = True
+                iq_entries.append(op)
+                if len(iq_entries) > iq.peak_occupancy:
+                    iq.peak_occupancy = len(iq_entries)
+                for producer in op.producers:
+                    if producer is not None:
+                        producer.iq_waiters += 1
                 stats.dispatched_to_iq += 1
                 wake = cycle + config.dispatch_to_issue_latency
                 if wake < self._iq_scan_from:
@@ -574,6 +850,8 @@ class Simulator:
             op.executed = False
             op.dispatch_cycle = UNKNOWN_CYCLE
             op.complete_cycle = UNKNOWN_CYCLE
+            op.avail_cycle = UNKNOWN_CYCLE
+            op.wait_until = 0
             self._frontend.appendleft(op)
         # Rebuild the rename map from the surviving ROB contents.
         self._rebuild_rename_map()
@@ -581,7 +859,7 @@ class Simulator:
     def _rebuild_rename_map(self) -> None:
         self._rename_map = {}
         for op in self.rob:
-            for dst in op.uop.destination_registers():
+            for dst in op.uop.dst_regs:
                 self._rename_map[dst] = op
 
     # ================================================================== fetch
@@ -601,6 +879,14 @@ class Simulator:
 
     def _fetch(self) -> None:
         config = self.config
+        # Recycle retired records whose barrier has drained — fetch is the only
+        # acquisition site, so promoting here guarantees no reader between a
+        # record's release and its reuse.  (The pool's deferred queue is consulted
+        # directly to keep the common nothing-parked cycle call-free.)
+        pool = self.pool
+        if pool._deferred:
+            head = self.rob.head()
+            pool.promote(head.seq if head is not None else None)
         if self._fetch_blocked_on is not None:
             return
         cycle = self.cycle
@@ -619,6 +905,15 @@ class Simulator:
         predictor = self.predictor
         stats = self.stats
         replay = self._replay
+        pool_free = pool._free
+        pool_arena = pool._arena
+        # L1I hit fast path (the reference path is hierarchy.fetch): sequential
+        # fetch hits the MRU line of one set almost every µ-op.
+        l1i = self.hierarchy.l1i
+        l1i_sets = l1i._sets
+        l1i_num_sets = l1i.num_sets
+        l1i_line_size = l1i.line_size
+        l1i_stats = l1i.stats
         fetched = 0
         taken_branches = 0
         while fetched < fetch_width:
@@ -638,18 +933,32 @@ class Simulator:
             if is_branch and dyn.taken and taken_branches >= max_taken:
                 replay.appendleft(dyn)
                 break
-            icache_latency = hierarchy_fetch(dyn.pc, cycle)
-            if icache_latency > l1i_latency:
-                # Instruction cache miss: fetch stalls until the line returns.
-                replay.appendleft(dyn)
-                self._fetch_resume_cycle = cycle + icache_latency
-                break
+            line = (dyn.pc * 4) // l1i_line_size
+            ways = l1i_sets[line % l1i_num_sets]
+            if ways and ways[0] == line:
+                # MRU hit: same accounting as Cache.access, no latency beyond L1I.
+                l1i_stats.accesses += 1
+                l1i_stats.hits += 1
+            else:
+                icache_latency = hierarchy_fetch(dyn.pc, cycle)
+                if icache_latency > l1i_latency:
+                    # Instruction cache miss: fetch stalls until the line returns.
+                    replay.appendleft(dyn)
+                    self._fetch_resume_cycle = cycle + icache_latency
+                    break
 
-            op = InflightOp(dyn)
+            # Inlined pool.acquire (kept as the reference implementation).
+            if pool_free:
+                op = pool_arena[pool_free.pop()]
+                op._init(dyn)
+            else:
+                op = pool.acquire(dyn)
             op.fetch_cycle = cycle
             op.dispatch_ready_cycle = cycle + fetch_to_dispatch
-            op.history_snapshot = history.snapshot()
-            stats.fetched_uops += 1
+            # Inlined history.snapshot() memoisation (one attribute read on the
+            # common no-new-branch path).
+            snapshot = history._snapshot
+            op.history_snapshot = snapshot if snapshot is not None else history.snapshot()
 
             if predictor is not None and uop.vp_eligible:
                 prediction = predictor.lookup(dyn.pc, history)
@@ -674,6 +983,8 @@ class Simulator:
             fetched += 1
             if stop_fetching:
                 break
+        if fetched:
+            stats.fetched_uops += fetched
 
     # ================================================================== squash
     def _squash_from(self, seq: int) -> None:
@@ -718,8 +1029,19 @@ class Simulator:
             self._fetch_blocked_on = None
         self._fetch_resume_cycle = max(self._fetch_resume_cycle, self.cycle + 1)
 
+        # Squashed records are unreachable now (their consumers, being younger, died
+        # with them; every structure above dropped its references) — recycle them,
+        # except those still on the completion wheel, whose stale entries release
+        # them when they pop.
+        pool = self.pool
+        for op in squashed:
+            if not op.in_completion_wheel:
+                pool.release(op)
+
     # ================================================================== run end / results
     def _check_run_end(self) -> None:
+        """Reference implementation of the run-end test inlined at the end of
+        :meth:`_step` (kept in sync with it)."""
         if self._finished:
             return
         if (

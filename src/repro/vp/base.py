@@ -52,7 +52,7 @@ class VPrediction:
         return f"VPrediction(value={self.value}, confident={self.confident}, source={self.source})"
 
 
-@dataclass
+@dataclass(slots=True)
 class PredictorStatistics:
     """Coverage / accuracy accounting for a value predictor.
 

@@ -24,10 +24,20 @@ from repro.vp.vtage import VTAGEPredictor
 
 @dataclass(slots=True)
 class _HybridMeta:
-    """Per-prediction context: the component predictions, for separate training."""
+    """Per-prediction context: the component lookups, for separate training.
 
-    vtage: VPrediction | None
-    stride: VPrediction | None
+    The component results are carried *flattened* (value/confidence/meta fields
+    instead of per-component :class:`VPrediction` wrappers): the hybrid performs one
+    lookup per VP-eligible µ-op, so avoiding two wrapper allocations per lookup is
+    measurable on the simulator's fetch path.
+    """
+
+    vtage_value: int
+    vtage_confident: bool
+    vtage_meta: object
+    stride_hit: bool
+    stride_value: int
+    stride_confident: bool
     chosen: str
 
 
@@ -53,36 +63,42 @@ class VTAGE2DStrideHybrid(ValuePredictor):
 
     # ------------------------------------------------------------------ interface
     def predict(self, pc: int, history: GlobalHistory) -> VPrediction | None:
-        vtage_pred = self.vtage.predict(pc, history)
-        stride_pred = self.stride.predict(pc, history)
+        vtage_value, vtage_confident, vtage_meta = self.vtage.lookup_parts(pc, history)
+        stride_parts = self.stride.lookup_parts(pc, history)
+        if stride_parts is None:
+            stride_hit = stride_confident = False
+            stride_value = 0
+        else:
+            stride_hit = True
+            stride_value, stride_confident = stride_parts
 
-        vtage_tagged_hit = (
-            vtage_pred is not None
-            and vtage_pred.meta is not None
-            and vtage_pred.meta.provider >= 0
-        )
-        vtage_confident = vtage_pred is not None and vtage_pred.confident
-        stride_confident = stride_pred is not None and stride_pred.confident
+        vtage_tagged_hit = vtage_meta.provider >= 0
         # Arbitration: a confident context-based (VTAGE) prediction wins, then a
         # confident computational (2D-Stride) one; with no confident component the
         # VTAGE tagged hit is preferred for training purposes, then the stride entry.
         if vtage_tagged_hit and vtage_confident:
-            chosen, provider = "vtage", vtage_pred
+            chosen, value, confident = "vtage", vtage_value, vtage_confident
         elif stride_confident:
-            chosen, provider = "stride", stride_pred
+            chosen, value, confident = "stride", stride_value, stride_confident
         elif vtage_confident:
-            chosen, provider = "vtage", vtage_pred
+            chosen, value, confident = "vtage", vtage_value, vtage_confident
         elif vtage_tagged_hit:
-            chosen, provider = "vtage", vtage_pred
-        elif stride_pred is not None:
-            chosen, provider = "stride", stride_pred
-        elif vtage_pred is not None:
-            chosen, provider = "vtage", vtage_pred
+            chosen, value, confident = "vtage", vtage_value, vtage_confident
+        elif stride_hit:
+            chosen, value, confident = "stride", stride_value, stride_confident
         else:
-            return VPrediction(0, False, self.name, meta=_HybridMeta(None, None, "none"))
+            chosen, value, confident = "vtage", vtage_value, vtage_confident
 
-        meta = _HybridMeta(vtage_pred, stride_pred, chosen)
-        return VPrediction(provider.value, provider.confident, self.name, meta=meta)
+        meta = _HybridMeta(
+            vtage_value,
+            vtage_confident,
+            vtage_meta,
+            stride_hit,
+            stride_value,
+            stride_confident,
+            chosen,
+        )
+        return VPrediction(value, confident, self.name, meta=meta)
 
     def train(self, pc: int, actual: int, prediction: VPrediction | None) -> None:
         if prediction is None or prediction.meta is None:
@@ -90,8 +106,8 @@ class VTAGE2DStrideHybrid(ValuePredictor):
             self.stride.train(pc, actual, None)
             return
         meta: _HybridMeta = prediction.meta
-        self.vtage.train(pc, actual, meta.vtage)
-        self.stride.train(pc, actual, meta.stride)
+        self.vtage.train_parts(pc, actual, meta.vtage_meta, meta.vtage_value)
+        self.stride.train_parts(pc, actual, meta.stride_hit, meta.stride_value)
 
     def recover(self) -> None:
         self.vtage.recover()

@@ -77,6 +77,9 @@ class StridePredictor(ValuePredictor):
         # synthetic kernels touch a small fraction of the 8K-entry table, so eager
         # construction would dominate predictor set-up time.
         self._table: list[_StrideEntry | None] = [None] * entries
+        # (index, tag) per static PC — pure memoisation of the two hash formulas,
+        # consulted twice per eligible µ-op (predict at fetch, train at commit).
+        self._pc_cache: dict[int, tuple[int, int]] = {}
 
     # ------------------------------------------------------------------ indexing
     def _index(self, pc: int) -> int:
@@ -85,28 +88,56 @@ class StridePredictor(ValuePredictor):
     def _tag(self, pc: int) -> int:
         return pc & self._tag_mask
 
+    def _index_and_tag(self, pc: int) -> tuple[int, int]:
+        cached = self._pc_cache.get(pc)
+        if cached is None:
+            cached = (_mix_pc(pc) & self._index_mask, pc & self._tag_mask)
+            self._pc_cache[pc] = cached
+        return cached
+
     # ------------------------------------------------------------------ interface
-    def predict(self, pc: int, history: GlobalHistory) -> VPrediction | None:
-        entry = self._table[self._index(pc)]
-        if entry is None or not entry.valid or entry.tag != self._tag(pc):
+    def lookup_parts(self, pc: int, history: GlobalHistory) -> tuple[int, bool] | None:
+        """:meth:`predict` without the :class:`VPrediction` wrapper.
+
+        Returns ``(value, confident)`` on a table hit (advancing the speculative
+        chain exactly like :meth:`predict`), ``None`` on a miss.  Used by the hybrid,
+        which wraps the arbitration winner once.
+        """
+        index, tag = self._index_and_tag(pc)
+        entry = self._table[index]
+        if entry is None or not entry.valid or entry.tag != tag:
             return None
         predicted = (entry.spec_last + entry.stride2) & _MASK64
         confident = entry.confidence >= self._policy.saturation
         # Advance the speculative chain so back-to-back instances predict correctly.
         entry.spec_last = predicted
         entry.inflight += 1
-        return VPrediction(predicted, confident, self.name, meta=None)
+        return predicted, confident
+
+    def predict(self, pc: int, history: GlobalHistory) -> VPrediction | None:
+        parts = self.lookup_parts(pc, history)
+        if parts is None:
+            return None
+        return VPrediction(parts[0], parts[1], self.name, meta=None)
 
     def train(self, pc: int, actual: int, prediction: VPrediction | None) -> None:
+        if prediction is None:
+            self.train_parts(pc, actual, False, 0)
+        else:
+            self.train_parts(pc, actual, True, prediction.value)
+
+    def train_parts(
+        self, pc: int, actual: int, had_prediction: bool, predicted_value: int
+    ) -> None:
+        """:meth:`train` taking the prediction flattened to ``(hit, value)``."""
         actual &= _MASK64
-        index = self._index(pc)
+        index, tag = self._index_and_tag(pc)
         entry = self._table[index]
-        tag = self._tag(pc)
         if entry is not None and entry.valid and entry.tag == tag:
             delta = (actual - entry.last_value) & _MASK64
             predicted_from_committed = (entry.last_value + entry.stride2) & _MASK64
-            if prediction is not None:
-                correct = prediction.value == actual
+            if had_prediction:
+                correct = predicted_value == actual
             else:
                 correct = predicted_from_committed == actual
             if correct:

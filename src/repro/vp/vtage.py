@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bpu.history import FoldedHistoryCache, GlobalHistory
+from repro.bpu.history import FoldedRegisterFile, GlobalHistory
 from repro.errors import ConfigurationError
 from repro.vp.base import ValuePredictor, VPrediction
 from repro.vp.confidence import DeterministicRandom, FPCPolicy, PAPER_FPC_VECTOR
@@ -55,11 +55,21 @@ def geometric_history_lengths(minimum: int, maximum: int, count: int) -> list[in
 
 @dataclass(slots=True)
 class _VTAGEMeta:
-    """Fetch-time lookup context carried to commit-time training."""
+    """Fetch-time lookup context carried to commit-time training.
 
-    indices: tuple[int, ...]
-    tags: tuple[int, ...]
+    Indices and tags of the non-providing components are *not* materialised at
+    lookup time: the meta captures the folded-history registers (``folds``, an
+    immutable snapshot — the live registers advance with every branch) plus the PC,
+    from which commit-time allocation re-derives exactly the indices/tags the lookup
+    would have computed.  Only the provider's index/tag (needed on every correct
+    prediction) are carried directly.
+    """
+
+    pc: int
+    folds: tuple[int, ...]
     provider: int  # -1 = base component, otherwise tagged component rank (0-based)
+    provider_index: int
+    provider_tag: int
     base_index: int
 
 
@@ -110,23 +120,25 @@ class VTAGEPredictor(ValuePredictor):
         self._random = DeterministicRandom(seed ^ 0xBADC0DE)
         # Lookup memoisation (pure caching — the computed indices/tags are identical
         # to the direct formulas): the PC-dependent hash mixes are static per µ-op,
-        # and the folded history only changes when the global history bits do,
-        # while lookups happen for every VP-eligible µ-op between branches.
+        # and the folded history lives in incrementally-maintained registers attached
+        # to the GlobalHistory (O(1) circular-shift update per pushed branch outcome,
+        # snapshot/restore on squash) — index folds first, tag folds second.
         self._pc_mix_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...], int]] = {}
-        self._index_fold_cache = FoldedHistoryCache(
-            self.history_lengths, [self._index_width] * num_components
-        )
-        self._tag_fold_cache = FoldedHistoryCache(self.history_lengths, self._tag_widths)
+        self._fold_widths = [self._index_width] * num_components + self._tag_widths
+        self._fold_registers: FoldedRegisterFile | None = None
         # Base component (tagless last-value table).
         self._base_values = [0] * base_entries
         self._base_confidence = [0] * base_entries
         self._base_valid = [False] * base_entries
         # Tagged components.  Entries are allocated lazily on first use: a ``None``
         # slot behaves exactly like a never-allocated entry (``valid`` False), and
-        # only a small fraction of each 1K-entry component is ever touched.
+        # only a small fraction of each 1K-entry component is ever touched.  The
+        # per-component entry counts let lookups skip probing (and hashing into)
+        # entirely-empty components.
         self._components: list[list[_TaggedEntry | None]] = [
             [None] * tagged_entries for _ in range(num_components)
         ]
+        self._component_sizes = [0] * num_components
 
     # ------------------------------------------------------------------ indexing
     def _base_index(self, pc: int) -> int:
@@ -156,36 +168,72 @@ class VTAGEPredictor(ValuePredictor):
             self._pc_mix_cache[pc] = cached
         return cached
 
+    def _folds(self, history: GlobalHistory) -> list[int]:
+        """The incremental folded registers for ``history`` (attached on first use).
+
+        Index folds occupy ``[0, num_components)``, tag folds occupy
+        ``[num_components, 2 * num_components)``.
+        """
+        registers = self._fold_registers
+        if registers is None or registers.history is not history:
+            registers = history.folded_registers(
+                self.history_lengths + self.history_lengths, self._fold_widths
+            )
+            self._fold_registers = registers
+        return registers.folds
+
     # ------------------------------------------------------------------ interface
     def predict(self, pc: int, history: GlobalHistory) -> VPrediction | None:
+        value, confident, meta = self.lookup_parts(pc, history)
+        return VPrediction(value, confident, self.name, meta=meta)
+
+    def lookup_parts(self, pc: int, history: GlobalHistory) -> tuple[int, bool, _VTAGEMeta]:
+        """:meth:`predict` without the :class:`VPrediction` wrapper.
+
+        Returns ``(value, confident, meta)``; used by the hybrid, which wraps the
+        arbitration winner once per lookup.
+        """
         index_mixes, tag_mixes, base_index = self._pc_mixes(pc)
-        index_folds = self._index_fold_cache.folds(history)
-        tag_folds = self._tag_fold_cache.folds(history)
+        folds = self._folds(history)
+        num_components = self.num_components
         tagged_mask = self._tagged_mask
-        indices = tuple(
-            (mix ^ fold) & tagged_mask for mix, fold in zip(index_mixes, index_folds)
-        )
-        tags = tuple(
-            (mix ^ fold) & mask
-            for mix, fold, mask in zip(tag_mixes, tag_folds, self._tag_masks)
-        )
+        tag_masks = self._tag_masks
+        components = self._components
+        sizes = self._component_sizes
         provider = -1
+        provider_index = 0
+        provider_tag = 0
         provider_entry: _TaggedEntry | None = None
-        rank = 0
-        for component, index, tag in zip(self._components, indices, tags):
-            entry = component[index]
-            if entry is not None and entry.valid and entry.tag == tag:
-                provider = rank
-                provider_entry = entry
-            rank += 1
-        meta = _VTAGEMeta(indices, tags, provider, base_index)
+        for rank in range(num_components):
+            # Empty components cannot hit; the hash is skipped entirely (allocation
+            # re-derives it from the meta's fold snapshot when needed).  Tags are
+            # only hashed for slots that actually hold an entry.
+            if not sizes[rank]:
+                continue
+            index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
+            entry = components[rank][index]
+            if entry is not None and entry.valid:
+                tag = (tag_mixes[rank] ^ folds[num_components + rank]) & tag_masks[rank]
+                if entry.tag == tag:
+                    provider = rank
+                    provider_index = index
+                    provider_tag = tag
+                    provider_entry = entry
+        meta = _VTAGEMeta(
+            pc,
+            self._fold_registers.folds_tuple(),
+            provider,
+            provider_index,
+            provider_tag,
+            base_index,
+        )
         if provider_entry is not None:
             confident = provider_entry.confidence >= self._policy.saturation
-            return VPrediction(provider_entry.value, confident, self.name, meta=meta)
+            return provider_entry.value, confident, meta
         if self._base_valid[base_index]:
             confident = self._base_confidence[base_index] >= self._policy.saturation
-            return VPrediction(self._base_values[base_index], confident, self.name, meta=meta)
-        return VPrediction(0, False, self.name, meta=meta)
+            return self._base_values[base_index], confident, meta
+        return 0, False, meta
 
     # ------------------------------------------------------------------ training helpers
     def _bump_confidence(self, current: int) -> int:
@@ -208,46 +256,82 @@ class VTAGEPredictor(ValuePredictor):
             self._base_values[base_index] = actual
             self._base_confidence[base_index] = 0
 
+    def _meta_index(self, meta: _VTAGEMeta, rank: int) -> int:
+        """Re-derive the component index the lookup for ``meta`` would have used."""
+        if rank == meta.provider:
+            return meta.provider_index
+        index_mixes, _, _ = self._pc_mixes(meta.pc)
+        return (index_mixes[rank] ^ meta.folds[rank]) & self._tagged_mask
+
+    def _meta_tag(self, meta: _VTAGEMeta, rank: int) -> int:
+        """Re-derive the component tag the lookup for ``meta`` would have used."""
+        if rank == meta.provider:
+            return meta.provider_tag
+        _, tag_mixes, _ = self._pc_mixes(meta.pc)
+        fold = meta.folds[self.num_components + rank]
+        return (tag_mixes[rank] ^ fold) & self._tag_masks[rank]
+
     def _allocate(self, meta: _VTAGEMeta, actual: int) -> None:
         """Allocate a new tagged entry on a component with a longer history."""
         start = meta.provider + 1
-        candidates = []
-        for rank in range(start, self.num_components):
-            entry = self._components[rank][meta.indices[rank]]
+        num_components = self.num_components
+        index_mixes, _, _ = self._pc_mixes(meta.pc)
+        folds = meta.folds
+        tagged_mask = self._tagged_mask
+        components = self._components
+        # One fused probe pass over the longer-history components only, re-deriving
+        # each index from the meta's fold snapshot (identical to the lookup's).
+        # Only the first two candidates matter (the tie-break picks between them).
+        candidate_count = 0
+        first = second = None
+        for rank in range(start, num_components):
+            index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
+            entry = components[rank][index]
             if entry is None or not entry.valid or entry.useful == 0:
-                candidates.append(rank)
-        if not candidates:
-            # Age the useful bits of all longer-history victims, TAGE-style.
-            for rank in range(start, self.num_components):
-                entry = self._components[rank][meta.indices[rank]]
+                candidate_count += 1
+                if candidate_count == 1:
+                    first = (rank, index, entry)
+                elif candidate_count == 2:
+                    second = (rank, index, entry)
+        if not candidate_count:
+            # Age the useful bits of all longer-history victims, TAGE-style
+            # (rare path: re-probe the same indices).
+            for rank in range(start, num_components):
+                index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
+                entry = components[rank][index]
                 if entry is not None and entry.useful > 0:
                     entry.useful -= 1
             return
         # Prefer the shortest eligible history, with a random tie-break to avoid ping-pong.
-        choice = candidates[0]
-        if len(candidates) > 1 and self._random.chance_half():
-            choice = candidates[1]
-        entry = self._components[choice][meta.indices[choice]]
-        if entry is None:
-            entry = _TaggedEntry()
-            self._components[choice][meta.indices[choice]] = entry
-        entry.valid = True
-        entry.tag = meta.tags[choice]
-        entry.value = actual
-        entry.confidence = 0
-        entry.useful = 0
+        choice, choice_index, choice_entry = first
+        if candidate_count > 1 and self._random.chance_half():
+            choice, choice_index, choice_entry = second
+        if choice_entry is None:
+            choice_entry = _TaggedEntry()
+            components[choice][choice_index] = choice_entry
+            self._component_sizes[choice] += 1
+        choice_entry.valid = True
+        choice_entry.tag = self._meta_tag(meta, choice)
+        choice_entry.value = actual
+        choice_entry.confidence = 0
+        choice_entry.useful = 0
 
     def train(self, pc: int, actual: int, prediction: VPrediction | None) -> None:
-        actual &= _MASK64
         if prediction is None or prediction.meta is None:
             # Should not happen in the pipeline (every eligible µ-op is looked up), but
             # keep the base component learning for robustness.
-            self._train_base(self._base_index(pc), actual)
+            self._train_base(self._base_index(pc), actual & _MASK64)
             return
-        meta: _VTAGEMeta = prediction.meta
+        self.train_parts(pc, actual, prediction.meta, prediction.value)
+
+    def train_parts(
+        self, pc: int, actual: int, meta: _VTAGEMeta, predicted_value: int
+    ) -> None:
+        """:meth:`train` taking the lookup flattened to ``(meta, value)``."""
+        actual &= _MASK64
         if meta.provider >= 0:
-            entry = self._components[meta.provider][meta.indices[meta.provider]]
-            if entry is not None and entry.valid and entry.tag == meta.tags[meta.provider]:
+            entry = self._components[meta.provider][meta.provider_index]
+            if entry is not None and entry.valid and entry.tag == meta.provider_tag:
                 if entry.value == actual:
                     entry.confidence = self._bump_confidence(entry.confidence)
                     if entry.confidence >= self._policy.saturation:
@@ -263,7 +347,6 @@ class VTAGEPredictor(ValuePredictor):
                 # The entry was replaced between fetch and commit; treat as a miss.
                 self._allocate(meta, actual)
         else:
-            predicted_value = prediction.value
             if not (self._base_valid[meta.base_index] and predicted_value == actual):
                 self._allocate(meta, actual)
         self._train_base(meta.base_index, actual)

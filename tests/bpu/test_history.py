@@ -5,6 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.bpu.history import GlobalHistory, fold_bits
+from repro.vp.vtage import geometric_history_lengths
 
 
 class TestGlobalHistory:
@@ -77,3 +78,91 @@ class TestFolding:
         for index in range(40):
             history.push(index % 3 == 0)
         assert history.fold(32, width) == history.fold(32, width)
+
+
+class TestIncrementalFoldedRegisters:
+    """The incremental circular-shift registers must always equal re-folding the raw
+    history with :func:`fold_bits` — including across arbitrary squash/restore
+    sequences, for the TAGE and VTAGE geometries up to 256 history bits."""
+
+    TAGE_LENGTHS = geometric_history_lengths(4, 256, 12)
+    TAGE_WIDTHS = [10] * 12 + [11] * 12
+    VTAGE_LENGTHS = geometric_history_lengths(2, 64, 6)
+    VTAGE_WIDTHS = [10] * 6 + [12 + rank for rank in range(6)]
+
+    def _attach(self, history: GlobalHistory):
+        tage = history.folded_registers(self.TAGE_LENGTHS * 2, self.TAGE_WIDTHS)
+        vtage = history.folded_registers(self.VTAGE_LENGTHS * 2, self.VTAGE_WIDTHS)
+        return tage, vtage
+
+    def _check(self, history: GlobalHistory, registers) -> None:
+        for file in registers:
+            for index, (length, width) in enumerate(zip(file.lengths, file.widths)):
+                assert file.folds[index] == fold_bits(
+                    history.slice(length), length, width
+                ), (length, width)
+
+    def test_push_tracks_reference_folding(self):
+        history = GlobalHistory()
+        registers = self._attach(history)
+        for step in range(600):
+            history.push(step % 3 == 0)
+            self._check(history, registers)
+
+    def test_snapshot_carries_folds_and_restore_reinstates_them(self):
+        history = GlobalHistory()
+        registers = self._attach(history)
+        for outcome in (True, False, True, True, False):
+            history.push(outcome)
+        saved = history.snapshot()
+        assert saved == history.bits  # int contract preserved
+        for outcome in (False, False, True):
+            history.push(outcome)
+        history.restore(saved)
+        assert history.bits == int(saved)
+        self._check(history, registers)
+
+    def test_restore_from_raw_bits_refolds(self):
+        history = GlobalHistory()
+        registers = self._attach(history)
+        for _ in range(40):
+            history.push(True)
+        history.restore(0b1011)  # plain int (e.g. a pre-pool record's default)
+        self._check(history, registers)
+
+    def test_registers_attached_after_snapshot_survive_restore(self):
+        history = GlobalHistory()
+        for _ in range(20):
+            history.push(True)
+        saved = history.snapshot()  # taken before any registers exist
+        registers = self._attach(history)
+        history.push(False)
+        history.restore(saved)
+        self._check(history, registers)
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.booleans()),
+                st.tuples(st.just("snapshot"), st.booleans()),
+                st.tuples(st.just("restore"), st.integers(min_value=0, max_value=7)),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_random_squash_restore_sequences_match_reference(self, operations):
+        """Property (ISSUE 3): any interleaving of pushes, snapshots and restores
+        leaves every incremental register equal to recomputing fold_bits from the
+        raw history bits."""
+        history = GlobalHistory()
+        registers = self._attach(history)
+        snapshots = [history.snapshot()]
+        for action, argument in operations:
+            if action == "push":
+                history.push(argument)
+            elif action == "snapshot":
+                snapshots.append(history.snapshot())
+            else:
+                history.restore(snapshots[argument % len(snapshots)])
+        self._check(history, registers)

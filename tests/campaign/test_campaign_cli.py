@@ -172,3 +172,58 @@ class TestReportCommand:
             assert row[0] in FAST_SUBSET
             for value in row[1:]:
                 assert float(value) > 0
+
+
+def _compact_cell(max_uops: int = 400):
+    from repro.campaign.spec import CampaignCell
+
+    return CampaignCell(
+        config=named_config("Baseline_6_64"),
+        workload_name="gcc",
+        max_uops=max_uops,
+        warmup_uops=0,
+    )
+
+
+class TestCompactCommand:
+    def test_compact_drops_superseded_rows_and_reports(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+        from repro.campaign.store import ResultStore
+        from repro.pipeline.stats import SimStats, SimulationResult
+
+        store_path = tmp_path / "store.jsonl"
+        store = ResultStore(store_path)
+        stats = SimStats(cycles=10, committed_uops=5)
+        result = SimulationResult(
+            config_name="c", workload_name="w", stats=stats, full_stats=stats
+        )
+        cell = _compact_cell()
+        store.put(cell, result)
+        store.put(cell, result)  # superseded row
+        lines_before = len(store_path.read_text().splitlines())
+        assert lines_before == 2
+        assert main(["compact", "--store", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 superseded" in out
+        assert len(store_path.read_text().splitlines()) == 1
+
+    def test_compact_with_max_mb_evicts(self, tmp_path, capsys):
+        from repro.campaign.cli import main
+        from repro.campaign.store import ResultStore
+        from repro.pipeline.stats import SimStats, SimulationResult
+
+        store_path = tmp_path / "store.jsonl"
+        store = ResultStore(store_path)
+        for index in range(4):
+            stats = SimStats(cycles=10 + index, committed_uops=5)
+            store.put(
+                _compact_cell(max_uops=500 + index),
+                SimulationResult(
+                    config_name="c", workload_name="w", stats=stats, full_stats=stats
+                ),
+            )
+        per_line = store.size_bytes() / 4
+        cap_mb = (per_line * 2 + 2) / (1024 * 1024)
+        assert main(["compact", "--store", str(store_path), "--max-mb", str(cap_mb)]) == 0
+        assert "2 evicted" in capsys.readouterr().out
+        assert len(ResultStore(store_path)) == 2

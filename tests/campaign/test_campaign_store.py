@@ -137,3 +137,70 @@ class TestDefaultStore:
         assert store is not None
         assert store.path == path
         assert default_store() is store
+
+
+class TestCompaction:
+    @staticmethod
+    def _fake_result(tag: int) -> SimulationResult:
+        stats = SimStats(cycles=100 + tag, committed_uops=50 + tag)
+        return SimulationResult(
+            config_name="store_test", workload_name="gcc", stats=stats, full_stats=stats
+        )
+
+    def _put_grid(self, store, count: int = 4):
+        cells = []
+        for index in range(count):
+            cell = _cell(max_uops=1000 + index)
+            store.put(cell, self._fake_result(index))
+            cells.append(cell)
+        return cells
+
+    def test_superseding_rows_are_counted_and_compacted(self, tmp_path):
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(tmp_path / "store.jsonl")
+        cells = self._put_grid(store, count=3)
+        store.put(cells[0], self._fake_result(99))  # duplicate fingerprint
+        assert store.superseded_lines == 1
+        assert len((tmp_path / "store.jsonl").read_text().splitlines()) == 4
+        outcome = store.compact()
+        assert outcome["superseded_dropped"] == 1
+        assert outcome["evicted"] == 0
+        assert outcome["bytes_after"] < outcome["bytes_before"]
+        assert len((tmp_path / "store.jsonl").read_text().splitlines()) == 3
+        reloaded = ResultStore(tmp_path / "store.jsonl")
+        assert len(reloaded) == 3 and reloaded.superseded_lines == 0
+
+    def test_size_cap_evicts_oldest_records(self, tmp_path):
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(tmp_path / "store.jsonl")
+        self._put_grid(store, count=4)
+        line_size = store.size_bytes() // 4
+        outcome = store.compact(max_bytes=line_size * 2 + 2)
+        assert outcome["evicted"] == 2
+        assert store.size_bytes() <= line_size * 2 + 2
+        # The two newest records survive (eviction is oldest-saved first).
+        kept = {record["max_uops"] for record in store.records()}
+        assert kept == {1002, 1003}
+
+    def test_append_auto_compacts_past_the_cap(self, tmp_path, monkeypatch):
+        from repro.campaign.store import MAX_MB_ENV_VAR, ResultStore
+
+        probe = ResultStore(tmp_path / "probe.jsonl")
+        self._put_grid(probe, count=1)
+        line_size = probe.size_bytes()
+        # Cap at ~2.5 rows: the store must keep itself within the budget.
+        monkeypatch.setenv(MAX_MB_ENV_VAR, str(line_size * 2.5 / (1024 * 1024)))
+        store = ResultStore(tmp_path / "capped.jsonl")
+        assert store.max_bytes is not None
+        self._put_grid(store, count=6)
+        assert store.size_bytes() <= store.max_bytes
+        assert 1 <= len(store) <= 2
+
+    def test_invalid_cap_env_is_ignored(self, monkeypatch, tmp_path):
+        from repro.campaign.store import MAX_MB_ENV_VAR, ResultStore
+
+        monkeypatch.setenv(MAX_MB_ENV_VAR, "not-a-number")
+        store = ResultStore(tmp_path / "store.jsonl")
+        assert store.max_bytes is None

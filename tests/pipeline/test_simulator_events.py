@@ -1,0 +1,97 @@
+"""The event-wheel scheduler: cycle skipping must be real *and* invisible.
+
+The byte-identity of whole-grid results is enforced by
+``tests/trace/test_simulation_determinism.py``; these tests pin down the mechanism:
+dead cycles are actually skipped (the scheduler is not a no-op), bulk stall
+crediting matches per-cycle counting on stall-heavy machines, and the
+``REPRO_EVENT_DRIVEN`` switch selects the loop.
+"""
+
+import pytest
+
+from repro.pipeline.config import named_config
+from repro.pipeline.simulator import (
+    EVENT_DRIVEN_ENV_VAR,
+    Simulator,
+    event_driven_enabled,
+)
+from repro.workloads.suite import workload
+
+MAX_UOPS, WARMUP = 1500, 300
+
+
+class _CountingSimulator(Simulator):
+    """Counts how many cycles were actually stepped (vs. jumped over)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.stepped_cycles = 0
+
+    def _step(self):
+        self.stepped_cycles += 1
+        super()._step()
+
+
+def _run(config, wl, simulator_cls=Simulator, **kwargs):
+    simulator = simulator_cls(
+        config,
+        wl.program,
+        max_uops=MAX_UOPS,
+        warmup_uops=WARMUP,
+        arch_state=wl.make_state(),
+        workload_name=wl.name,
+        **kwargs,
+    )
+    return simulator, simulator.run()
+
+
+def test_event_driven_enabled_env_switch(monkeypatch):
+    monkeypatch.delenv(EVENT_DRIVEN_ENV_VAR, raising=False)
+    assert event_driven_enabled()
+    monkeypatch.setenv(EVENT_DRIVEN_ENV_VAR, "0")
+    assert not event_driven_enabled()
+    monkeypatch.setenv(EVENT_DRIVEN_ENV_VAR, "1")
+    assert event_driven_enabled()
+
+
+@pytest.mark.parametrize("workload_name", ["milc", "gcc"])
+def test_event_wheel_skips_dead_cycles(monkeypatch, workload_name):
+    """Stall-heavy runs must step strictly fewer cycles than they simulate."""
+    monkeypatch.delenv(EVENT_DRIVEN_ENV_VAR, raising=False)
+    simulator, result = _run(named_config("EOLE_4_64"), workload(workload_name),
+                             simulator_cls=_CountingSimulator)
+    assert simulator.stepped_cycles < result.full_stats.cycles
+    assert result.full_stats.cycles > 0
+
+
+def test_cycle_stepping_reference_steps_every_cycle(monkeypatch):
+    monkeypatch.setenv(EVENT_DRIVEN_ENV_VAR, "0")
+    simulator, result = _run(named_config("EOLE_4_64"), workload("milc"),
+                             simulator_cls=_CountingSimulator)
+    assert simulator.stepped_cycles == result.full_stats.cycles
+
+
+@pytest.mark.parametrize("config_name", ["Baseline_6_64", "Baseline_VP_6_64", "EOLE_4_64"])
+@pytest.mark.parametrize("workload_name", ["gcc", "mcf", "milc"])
+def test_event_driven_matches_stepping(monkeypatch, config_name, workload_name):
+    config = named_config(config_name)
+    wl = workload(workload_name)
+    monkeypatch.delenv(EVENT_DRIVEN_ENV_VAR, raising=False)
+    _, event = _run(config, wl)
+    monkeypatch.setenv(EVENT_DRIVEN_ENV_VAR, "0")
+    _, stepped = _run(config, wl)
+    assert event.to_dict() == stepped.to_dict()
+
+
+def test_bulk_stall_crediting_on_tiny_rob(monkeypatch):
+    """A machine whose ROB fills constantly exercises the skipped-span crediting:
+    per-cycle dispatch-stall counters must match the reference loop exactly."""
+    config = named_config("Baseline_VP_6_64").derive(rob_size=12, iq_size=8)
+    wl = workload("milc")
+    monkeypatch.delenv(EVENT_DRIVEN_ENV_VAR, raising=False)
+    _, event = _run(config, wl)
+    monkeypatch.setenv(EVENT_DRIVEN_ENV_VAR, "0")
+    _, stepped = _run(config, wl)
+    assert event.full_stats.rob_full_stalls == stepped.full_stats.rob_full_stalls
+    assert event.full_stats.rob_full_stalls > 0
+    assert event.to_dict() == stepped.to_dict()

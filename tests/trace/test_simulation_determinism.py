@@ -1,8 +1,14 @@
-"""Bit-identity of simulation results with and without the trace subsystem.
+"""Bit-identity of simulation results across execution strategies.
 
-The hard invariant of the trace cache: every ``SimulationResult`` must be *byte
-identical* whether the simulator emulates inline (``REPRO_TRACE_CACHE=0``), replays a
-shared in-process capture, or replays a capture decoded from the on-disk store.
+Two hard invariants are enforced here:
+
+* **trace subsystem** — every ``SimulationResult`` must be *byte identical* whether
+  the simulator emulates inline (``REPRO_TRACE_CACHE=0``), replays a shared
+  in-process capture, or replays a capture decoded from the on-disk store;
+* **event-driven scheduler** — the cycle-skipping event wheel
+  (``REPRO_EVENT_DRIVEN``, default on) must produce results byte-identical to the
+  retained cycle-stepping reference loop (``REPRO_EVENT_DRIVEN=0``) across the full
+  4-configuration × 4-workload grid the throughput harness measures.
 """
 
 import json
@@ -12,6 +18,7 @@ import pytest
 from repro.campaign.executor import simulate_cell
 from repro.campaign.spec import CampaignCell
 from repro.pipeline.config import named_config
+from repro.pipeline.simulator import EVENT_DRIVEN_ENV_VAR
 from repro.trace.cache import TRACE_CACHE_ENV_VAR, shared_trace_cache
 from repro.trace.capture import capture_workload_trace, required_length
 from repro.trace.encoding import CapturedTrace
@@ -21,6 +28,16 @@ from repro.workloads.suite import workload
 GRID_CONFIGS = ("Baseline_6_64", "Baseline_VP_6_64", "EOLE_4_64")
 GRID_WORKLOADS = ("gcc", "mcf")
 MAX_UOPS, WARMUP_UOPS = 2500, 500
+
+#: The throughput harness's grid (benchmarks/perf/throughput.py): the event-driven
+#: determinism gate runs the full 4 × 4 cross product.
+EVENT_GRID_CONFIGS = (
+    "Baseline_6_64",
+    "Baseline_VP_6_64",
+    "EOLE_4_64",
+    "EOLE_4_64_4ports_4banks",
+)
+EVENT_GRID_WORKLOADS = ("wupwise", "bzip2", "gcc", "milc")
 
 
 def _grid_dicts(monkeypatch, *, cache_enabled: bool) -> dict[str, dict]:
@@ -94,6 +111,37 @@ def test_shared_cache_counts_replays():
         )
         simulate_cell(cell)
     assert shared_trace_cache.captures == before + 1  # one emulation, two configs
+
+
+def _event_grid_dicts(monkeypatch, *, event_driven: bool) -> dict[str, dict]:
+    if event_driven:
+        monkeypatch.delenv(EVENT_DRIVEN_ENV_VAR, raising=False)
+    else:
+        monkeypatch.setenv(EVENT_DRIVEN_ENV_VAR, "0")
+    out = {}
+    for config_name in EVENT_GRID_CONFIGS:
+        for workload_name in EVENT_GRID_WORKLOADS:
+            cell = CampaignCell(
+                config=named_config(config_name),
+                workload_name=workload_name,
+                max_uops=MAX_UOPS,
+                warmup_uops=WARMUP_UOPS,
+            )
+            out[cell.describe()] = simulate_cell(cell).to_dict()
+    return out
+
+
+def test_event_driven_grid_is_byte_identical_to_cycle_stepping(monkeypatch):
+    """The cycle-skipping event wheel is invisible across the full 4 × 4 grid.
+
+    Every counter — including the per-stalled-cycle dispatch statistics that the
+    scheduler credits in bulk for skipped spans — must match the cycle-stepping
+    reference loop exactly.
+    """
+    monkeypatch.delenv(TRACE_STORE_ENV_VAR, raising=False)
+    event = _event_grid_dicts(monkeypatch, event_driven=True)
+    stepped = _event_grid_dicts(monkeypatch, event_driven=False)
+    assert json.dumps(event, sort_keys=True) == json.dumps(stepped, sort_keys=True)
 
 
 @pytest.fixture(autouse=True)

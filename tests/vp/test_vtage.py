@@ -109,4 +109,13 @@ class TestVTAGE:
         prediction = predictor.predict(PC, history)
         assert prediction.meta is not None
         assert prediction.meta.provider == -1  # cold: base component provides
-        assert len(prediction.meta.indices) == predictor.num_components
+        # The meta's fold snapshot re-derives exactly the lookup's indices/tags.
+        assert len(prediction.meta.folds) == 2 * predictor.num_components
+        for rank in range(predictor.num_components):
+            assert prediction.meta.folds[rank] == history.fold(
+                predictor.history_lengths[rank], predictor._index_width
+            )
+            index = predictor._meta_index(prediction.meta, rank)
+            tag = predictor._meta_tag(prediction.meta, rank)
+            assert index == predictor._tagged_index(PC, history, rank)
+            assert tag == predictor._tagged_tag(PC, history, rank)
