@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Simulator throughput harness: committed µ-ops/second, single-cell and grid.
 
-Measures two workloads-per-wall-clock numbers and records them in
-``BENCH_throughput.json`` at the repository root so performance PRs have a
-trajectory to beat (see docs/performance.md):
+Measures two workloads-per-wall-clock numbers and appends them to the
+**speedup ladder** in ``BENCH_throughput.json`` at the repository root, so
+performance PRs have a trajectory to beat (see docs/performance.md):
 
 * **single cell** — one ``EOLE_4_64 × gcc`` simulation (the paper's headline
   configuration on a branchy workload);
@@ -12,16 +12,18 @@ trajectory to beat (see docs/performance.md):
   `wupwise`, `bzip2`, `gcc`, `milc`), run with a **cold** trace cache and no result
   reuse — the end-to-end cost of regenerating one figure from scratch.
 
-The harness deliberately uses only APIs that exist since PR 1 (`simulate_cell`),
-so it can be dropped onto an older checkout to produce a comparison baseline:
+The ladder is **append-only**: ``{"format": "speedup-ladder/1", "entries": [...]}``
+with one entry per recorded run (label, grid, single_cell, and speedups relative
+to the previous rung).  A pre-ladder single-report file is migrated in place on
+the first append.  Per-rung speedups compare against the *previous entry's*
+numbers as recorded; for an apples-to-apples PR comparison, re-measure the
+previous checkout in the same session (machines drift) and pass it explicitly:
 
-    PYTHONPATH=src python benchmarks/perf/throughput.py --output /tmp/base.json
-
-and then on the optimised tree:
-
+    PYTHONPATH=src python benchmarks/perf/throughput.py --output /tmp/base.json --no-append
     PYTHONPATH=src python benchmarks/perf/throughput.py --baseline-json /tmp/base.json
 
-which records the old numbers under ``"baseline"`` plus a ``"grid_speedup"`` ratio.
+The measurement core deliberately uses only APIs that exist since PR 1
+(`simulate_cell`), so it can be dropped onto an older checkout.
 """
 
 from __future__ import annotations
@@ -118,6 +120,60 @@ def measure_grid(max_uops: int, warmup_uops: int, repeat: int) -> dict:
     }
 
 
+#: Ladder file format marker (bumped on breaking schema changes).
+LADDER_FORMAT = "speedup-ladder/1"
+
+
+def migrate_legacy_report(report: dict) -> list[dict]:
+    """Turn a pre-ladder single-report file into ladder entries (oldest first)."""
+    entries: list[dict] = []
+    baseline = report.get("baseline")
+    if baseline and "grid" in baseline:
+        entries.append(
+            {
+                "label": baseline.get("label"),
+                "grid": baseline["grid"],
+                "single_cell": baseline["single_cell"],
+                "migrated_from": "pre-ladder report (embedded baseline)",
+            }
+        )
+    entry = {
+        key: report[key]
+        for key in (
+            "label",
+            "grid",
+            "single_cell",
+            "grid_speedup",
+            "single_cell_speedup",
+            "method",
+            "platform",
+            "python",
+            "recorded_unix",
+        )
+        if key in report
+    }
+    entry["migrated_from"] = "pre-ladder report"
+    entries.append(entry)
+    return entries
+
+
+def load_ladder(path: Path) -> list[dict]:
+    """Read the ladder entries at ``path`` (migrating a legacy report in place)."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if isinstance(data, dict) and data.get("format") == LADDER_FORMAT:
+        return list(data["entries"])
+    if isinstance(data, dict) and "grid" in data:
+        return migrate_legacy_report(data)
+    raise SystemExit(f"unrecognised throughput report format in {path}")
+
+
+def write_ladder(path: Path, entries: list[dict]) -> None:
+    payload = {"format": LADDER_FORMAT, "entries": entries}
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--max-uops", type=int, default=8000)
@@ -125,16 +181,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
     parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_throughput.json"),
-        help="where to write the JSON report (default: BENCH_throughput.json)",
+        help="ladder file to append to (default: BENCH_throughput.json)",
     )
     parser.add_argument(
         "--baseline-json", default=None,
-        help="a previous report to embed as the comparison baseline",
+        help="an explicit report/ladder whose last entry is the speedup baseline "
+        "(default: the output ladder's own last entry)",
     )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="write a single-entry ladder to --output instead of appending "
+        "(for producing a same-session baseline measurement)",
+    )
+    parser.add_argument("--method", default=None, help="free-form measurement notes")
     parser.add_argument("--label", default=None, help="free-form label for the run")
     args = parser.parse_args(argv)
 
-    report = {
+    entry = {
         "label": args.label,
         "recorded_unix": time.time(),
         "python": platform.python_version(),
@@ -143,21 +206,34 @@ def main(argv: list[str] | None = None) -> int:
         "single_cell": measure_single_cell(args.max_uops, args.warmup_uops, args.repeat),
         "grid": measure_grid(args.max_uops, args.warmup_uops, args.repeat),
     }
-    if args.baseline_json:
-        baseline = json.loads(Path(args.baseline_json).read_text())
-        report["baseline"] = {
-            "label": baseline.get("label"),
-            "single_cell": baseline["single_cell"],
-            "grid": baseline["grid"],
-        }
-        report["grid_speedup"] = baseline["grid"]["seconds"] / report["grid"]["seconds"]
-        report["single_cell_speedup"] = (
-            baseline["single_cell"]["seconds"] / report["single_cell"]["seconds"]
-        )
-    Path(args.output).write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    if args.method:
+        entry["method"] = args.method
 
-    grid = report["grid"]
-    single = report["single_cell"]
+    output = Path(args.output)
+    if args.no_append and output.resolve() == (REPO_ROOT / "BENCH_throughput.json").resolve():
+        # Guard rail: a single-entry --no-append file over the committed ladder
+        # would destroy the recorded speedup history.
+        raise SystemExit(
+            "--no-append would overwrite the committed ladder; "
+            "pass an explicit --output (e.g. /tmp/base.json)"
+        )
+    entries = [] if args.no_append else load_ladder(output)
+    if args.baseline_json:
+        baseline_entries = load_ladder(Path(args.baseline_json))
+        baseline = baseline_entries[-1] if baseline_entries else None
+    else:
+        baseline = entries[-1] if entries else None
+    if baseline is not None:
+        entry["baseline_label"] = baseline.get("label")
+        entry["grid_speedup"] = baseline["grid"]["seconds"] / entry["grid"]["seconds"]
+        entry["single_cell_speedup"] = (
+            baseline["single_cell"]["seconds"] / entry["single_cell"]["seconds"]
+        )
+    entries.append(entry)
+    write_ladder(output, entries)
+
+    grid = entry["grid"]
+    single = entry["single_cell"]
     print(
         f"single cell {single['config']}/{single['workload']}: {single['seconds']:.3f}s "
         f"({single['committed_uops_per_second']:,.0f} µops/s)"
@@ -166,12 +242,13 @@ def main(argv: list[str] | None = None) -> int:
         f"grid {grid['cells']} cells: {grid['seconds']:.2f}s "
         f"({grid['committed_uops_per_second']:,.0f} µops/s)"
     )
-    if "grid_speedup" in report:
+    if "grid_speedup" in entry:
         print(
-            f"speedup vs baseline: grid {report['grid_speedup']:.2f}x, "
-            f"single cell {report['single_cell_speedup']:.2f}x"
+            f"speedup vs {entry.get('baseline_label') or 'previous rung'}: "
+            f"grid {entry['grid_speedup']:.2f}x, "
+            f"single cell {entry['single_cell_speedup']:.2f}x"
         )
-    print(f"report written to {args.output}")
+    print(f"ladder now has {len(entries)} entries -> {output}")
     return 0
 
 

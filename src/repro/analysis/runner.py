@@ -22,6 +22,7 @@ kernels are representative).  They can be overridden globally through the
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Iterable
 
 from repro.campaign.executor import run_campaign, simulate_cell
@@ -100,6 +101,7 @@ def run_workload(
     cache: ResultCache | None = shared_cache,
     store: ResultStore | None = None,
     trace=None,
+    progress: bool | None = None,
 ) -> SimulationResult:
     """Simulate ``workload`` on ``config`` (cached by configuration name and lengths).
 
@@ -110,31 +112,59 @@ def run_workload(
     instead.  An explicit trace bypasses the result cache and store entirely — their
     keys identify the *canonical* workload stream, which a caller-supplied trace
     need not match.
+
+    ``progress=None`` defers to ``REPRO_PROGRESS``, exactly like :func:`run_grid`:
+    a single-cell run (predictor_eval, the examples) then reports the same
+    per-cell done/reused line a campaign grid would.
     """
     max_uops = max_uops if max_uops is not None else default_max_uops()
     warmup_uops = warmup_uops if warmup_uops is not None else default_warmup_uops()
+    progress = progress if progress is not None else default_progress()
     cell = CampaignCell(
         config=config, workload_name=workload.name, max_uops=max_uops, warmup_uops=warmup_uops
     )
+    if not progress:
+        return _run_workload_cell(cell, workload, cache, store, trace)[0]
+    from repro.campaign.progress import ProgressReporter
+
+    reporter = ProgressReporter(total=1, enabled=True, label=cell.describe())
+    started = time.perf_counter()
+    result, reused = _run_workload_cell(cell, workload, cache, store, trace)
+    reporter.cell_done(cell, time.perf_counter() - started, reused=reused)
+    return result
+
+
+def _run_workload_cell(
+    cell: CampaignCell,
+    workload: Workload,
+    cache: ResultCache | None,
+    store: ResultStore | None,
+    trace,
+) -> tuple[SimulationResult, bool]:
+    """The cache → store → simulate ladder behind :func:`run_workload`.
+
+    Returns ``(result, reused)`` — ``reused`` mirrors the campaign reporter's
+    notion (cache or store hit, no simulation run).
+    """
     if trace is not None:
-        return simulate_cell(cell, workload, trace=trace)
+        return simulate_cell(cell, workload, trace=trace), False
     if cache is not None:
         cached = cache.get(cell.key)
         if cached is not None:
-            return cached
+            return cached, True
     store = store if store is not None else default_store()
     if store is not None:
         stored = store.get(cell.fingerprint)
         if stored is not None:
             if cache is not None:
                 cache.put(cell.key, stored)
-            return stored
+            return stored, True
     result = simulate_cell(cell, workload)
     if store is not None:
         store.put(cell, result)
     if cache is not None:
         cache.put(cell.key, result)
-    return result
+    return result, False
 
 
 def run_grid(

@@ -168,3 +168,15 @@ class BranchPredictionUnit:
         """Commit-time training of the conditional-branch predictor."""
         if outcome.tage is not None:
             self.tage.update(inst.pc, outcome.actual_taken, outcome.tage)
+
+    def train_commit_group(self, group: list[tuple[int, "BranchOutcome"]]) -> None:
+        """Train one commit group of ``(pc, outcome)`` conditional branches.
+
+        One call per commit group amortises the per-branch wrapper overhead; the
+        per-item TAGE update order is the commit order, exactly as with
+        :meth:`train` per µ-op.
+        """
+        update = self.tage.update
+        for pc, outcome in group:
+            if outcome.tage is not None:
+                update(pc, outcome.actual_taken, outcome.tage)

@@ -106,6 +106,11 @@ class Emulator:
         self._uops = program.uops
         self._imms = program._imm_values
         self._length = len(program.uops)
+        # Batched-decode table for run_batch, built on first use: one tuple of
+        # pre-extracted static fields per PC, so the capture loop performs a
+        # single list index + tuple unpack per µ-op instead of re-reading µ-op
+        # attributes (pure memoisation of the same values step() reads).
+        self._decode_table: list[tuple] | None = None
 
     # ------------------------------------------------------------------ helpers
     def _branch_condition(self, opcode: Opcode, flags: int) -> bool:
@@ -316,6 +321,256 @@ class Emulator:
                 break
             produced += 1
             yield inst
+
+    # ------------------------------------------------------------------ batched capture
+    def _build_decode_table(self) -> list[tuple]:
+        """Pre-extract the static per-PC fields :meth:`step` reads per dynamic µ-op.
+
+        Each slot holds ``(uop, opcode, sources, arity, dst, sets_flags, imm,
+        imm_or_zero, is_cond_branch, target)`` — pure memoisation; the values are
+        exactly what ``step`` would re-read through the µ-op on every execution.
+        """
+        program = self.program
+        table: list[tuple] = []
+        for pc, uop in enumerate(self._uops):
+            imm = self._imms[pc]
+            table.append(
+                (
+                    uop,
+                    uop.opcode,
+                    uop.srcs,
+                    len(uop.srcs),
+                    uop.dst,
+                    uop.sets_flags,
+                    imm,
+                    imm if imm is not None else 0,
+                    uop.is_conditional_branch,
+                    program.target_of(pc),
+                )
+            )
+        self._decode_table = table
+        return table
+
+    def run_batch(self, max_uops: int) -> list[DynInst]:
+        """Execute up to ``max_uops`` µ-ops and return their dynamic records.
+
+        The capture fast path: one specialised loop over the batched-decode
+        table with the hot machine state (pc, seq, registers, memory) in locals,
+        bit-identical to ``list(self.run(max_uops))`` (``step`` remains the
+        reference implementation and the unit suite compares the two).
+        """
+        out: list[DynInst] = []
+        if self.halted:
+            return out
+        decode = self._decode_table
+        if decode is None:
+            decode = self._build_decode_table()
+        state = self.state
+        arch_regs = state.regs
+        memory = state.memory
+        call_stack = state.call_stack
+        flags_index = regs.FLAGS_REG
+        length = self._length
+        pc = self.pc
+        seq = self.seq
+        append = out.append
+        halt_pc = HALT_PC
+        while len(out) < max_uops:
+            if not 0 <= pc < length:
+                self.halted = True
+                break
+            (
+                uop,
+                opcode,
+                sources,
+                arity,
+                dst,
+                sets_flags,
+                imm,
+                imm_or_zero,
+                is_cond_branch,
+                target,
+            ) = decode[pc]
+
+            result: int | None = None
+            flags_result: int | None = None
+            flags_in: int | None = None
+            addr: int | None = None
+            store_value: int | None = None
+            taken = False
+            next_pc = pc + 1
+
+            if arity == 0:
+                src_values: tuple[int, ...] = ()
+                a = 0
+                b = imm_or_zero
+            elif arity == 1:
+                a = arch_regs[sources[0]]
+                src_values = (a,)
+                b = imm_or_zero
+            elif arity == 2:
+                a = arch_regs[sources[0]]
+                b = arch_regs[sources[1]]
+                src_values = (a, b)
+            else:
+                src_values = tuple(arch_regs[source] for source in sources)
+                a = src_values[0]
+                b = src_values[1]
+
+            if opcode is Opcode.ADD:
+                result = (a + b) & MASK64
+                if sets_flags:
+                    flags_result = add_flags(a, b)
+            elif opcode in (Opcode.LD, Opcode.FLD):
+                addr = (a + imm_or_zero) & MASK64
+                result = memory.get(addr)
+                if result is None:
+                    result = _default_memory_value(addr)
+            elif opcode in (Opcode.ST, Opcode.FST):
+                addr = (a + imm_or_zero) & MASK64
+                store_value = b if arity > 1 else 0
+                memory[addr] = store_value & MASK64
+            elif is_cond_branch:
+                flags_in = arch_regs[flags_index]
+                taken = self._branch_condition(opcode, flags_in)
+                if target is None:
+                    raise EmulationError(f"conditional branch at pc={pc} has no target")
+                next_pc = target if taken else pc + 1
+            elif opcode is Opcode.SUB:
+                result = (a - b) & MASK64
+                if sets_flags:
+                    flags_result = sub_flags(a, b)
+            elif opcode is Opcode.CMP:
+                flags_result = sub_flags(a, b)
+            elif opcode is Opcode.MOV:
+                result = a
+                if sets_flags:
+                    flags_result = flags_from_result(result)
+            elif opcode is Opcode.MOVI:
+                result = imm_or_zero & MASK64
+                if sets_flags:
+                    flags_result = flags_from_result(result)
+            elif opcode is Opcode.AND:
+                result = a & b
+                if sets_flags:
+                    flags_result = logic_flags(result)
+            elif opcode is Opcode.OR:
+                result = a | b
+                if sets_flags:
+                    flags_result = logic_flags(result)
+            elif opcode is Opcode.XOR:
+                result = a ^ b
+                if sets_flags:
+                    flags_result = logic_flags(result)
+            elif opcode is Opcode.SHL:
+                result = (a << (b & 63)) & MASK64
+                if sets_flags:
+                    flags_result = logic_flags(result)
+            elif opcode is Opcode.SHR:
+                result = (a & MASK64) >> (b & 63)
+                if sets_flags:
+                    flags_result = logic_flags(result)
+            elif opcode is Opcode.NOT:
+                result = (~a) & MASK64
+                if sets_flags:
+                    flags_result = logic_flags(result)
+            elif opcode is Opcode.NEG:
+                result = (-a) & MASK64
+                if sets_flags:
+                    flags_result = sub_flags(0, a)
+            elif opcode is Opcode.MIN:
+                result = min(a, b)
+                if sets_flags:
+                    flags_result = flags_from_result(result)
+            elif opcode is Opcode.MAX:
+                result = max(a, b)
+                if sets_flags:
+                    flags_result = flags_from_result(result)
+            elif opcode is Opcode.MUL:
+                result = (a * b) & MASK64
+                if sets_flags:
+                    flags_result = flags_from_result(result)
+            elif opcode is Opcode.DIV:
+                result = (a // b) & MASK64 if b else MASK64
+                if sets_flags:
+                    flags_result = flags_from_result(result)
+            elif opcode is Opcode.MOD:
+                result = (a % b) & MASK64 if b else 0
+                if sets_flags:
+                    flags_result = flags_from_result(result)
+            elif opcode is Opcode.FADD:
+                result = (a + b) & MASK64
+            elif opcode is Opcode.FSUB:
+                result = (a - b) & MASK64
+            elif opcode in (Opcode.FMOV, Opcode.FCVT):
+                result = a
+            elif opcode is Opcode.FMUL:
+                result = (a * b) & MASK64
+            elif opcode is Opcode.FMA:
+                c = src_values[2] if arity > 2 else 0
+                result = (a * b + c) & MASK64
+            elif opcode is Opcode.FDIV:
+                result = (a // b) & MASK64 if b else MASK64
+            elif opcode is Opcode.FSQRT:
+                result = int((a & MASK64) ** 0.5) & MASK64
+            elif opcode is Opcode.JMP:
+                if target is None:
+                    raise EmulationError(f"jump at pc={pc} has no target")
+                taken = True
+                next_pc = target
+            elif opcode is Opcode.JMPI:
+                taken = True
+                next_pc = a & MASK64
+                if not 0 <= next_pc < length:
+                    raise EmulationError(
+                        f"indirect jump at pc={pc} targets invalid pc {next_pc}"
+                    )
+            elif opcode is Opcode.CALL:
+                if target is None:
+                    raise EmulationError(f"call at pc={pc} has no target")
+                call_stack.append(pc + 1)
+                taken = True
+                next_pc = target
+            elif opcode is Opcode.RET:
+                taken = True
+                if call_stack:
+                    next_pc = call_stack.pop()
+                else:
+                    next_pc = halt_pc
+            elif opcode is Opcode.NOP:
+                pass
+            else:  # pragma: no cover - defensive, all opcodes are handled above
+                raise EmulationError(f"unimplemented opcode {opcode}")
+
+            if result is not None and dst is not None:
+                arch_regs[dst] = result & MASK64
+            if flags_result is not None:
+                arch_regs[flags_index] = flags_result & MASK64
+
+            append(
+                DynInst(
+                    seq,
+                    pc,
+                    uop,
+                    src_values,
+                    result,
+                    flags_result,
+                    flags_in,
+                    addr,
+                    store_value,
+                    taken,
+                    next_pc,
+                )
+            )
+            seq += 1
+            if next_pc == halt_pc or not 0 <= next_pc < length:
+                self.halted = True
+                pc = halt_pc
+                break
+            pc = next_pc
+        self.pc = pc
+        self.seq = seq
+        return out
 
 
 def generate_trace(

@@ -32,6 +32,18 @@ from repro.isa.opcode import (
     opclass_of,
 )
 
+#: Bits of :attr:`MicroOp.hot_mask` — the one-read classification bitmask used by
+#: the simulator's per-committed-µ-op fast paths.
+HOT_BRANCH = 1
+HOT_COND_BRANCH = 2
+HOT_LOAD = 4
+HOT_STORE = 8
+HOT_MEMORY = 16
+HOT_VP_ELIGIBLE = 32
+HOT_DST = 64
+HOT_SETS_FLAGS = 128
+HOT_NOP = 256
+
 #: Opcodes that take a control-flow target label.
 _TARGET_OPCODES = frozenset(
     {
@@ -137,6 +149,29 @@ class MicroOp:
         # load instead of a method call per dynamic use).
         set_attr(self, "src_regs", sources)
         set_attr(self, "dst_regs", destinations)
+        # One-read classification bitmask for the per-committed-µ-op paths (see
+        # HOT_* constants below): the commit loop reads a single attribute and
+        # tests integer bits instead of up to eight attribute loads.
+        mask = 0
+        if self.is_branch:
+            mask |= HOT_BRANCH
+        if self.is_conditional_branch:
+            mask |= HOT_COND_BRANCH
+        if self.is_load:
+            mask |= HOT_LOAD
+        if self.is_store:
+            mask |= HOT_STORE
+        if self.is_memory:
+            mask |= HOT_MEMORY
+        if self.vp_eligible:
+            mask |= HOT_VP_ELIGIBLE
+        if self.dst is not None:
+            mask |= HOT_DST
+        if self.sets_flags:
+            mask |= HOT_SETS_FLAGS
+        if opclass is OpClass.NOP:
+            mask |= HOT_NOP
+        set_attr(self, "hot_mask", mask)
 
     # ------------------------------------------------------------------ helpers
     def source_registers(self) -> tuple[int, ...]:

@@ -82,6 +82,14 @@ class FunctionalUnitPool:
             ),
             "mem": _GroupState(self.config.mem_ports),
         }
+        # One-lookup issue path: opclass -> (group state, models unpipelined busy).
+        self._issue_info: dict[OpClass, tuple[_GroupState, bool]] = {
+            opclass: (
+                self._groups[name],
+                opclass in UNPIPELINED_CLASSES and bool(self._groups[name].busy_until),
+            )
+            for opclass, name in _CLASS_GROUP.items()
+        }
         self.structural_rejects = 0
 
     def _group_of(self, opclass: OpClass) -> _GroupState:
@@ -89,14 +97,14 @@ class FunctionalUnitPool:
 
     def try_issue(self, opclass: OpClass, cycle: int, latency: int) -> bool:
         """Try to claim a unit of the right kind at ``cycle``; returns success."""
-        group = self._group_of(opclass)
+        group, unpipelined = self._issue_info[opclass]
         if group.used_cycle != cycle:
             group.used_cycle = cycle
             group.used_count = 0
         if group.used_count >= group.units:
             self.structural_rejects += 1
             return False
-        if opclass in UNPIPELINED_CLASSES and group.busy_until:
+        if unpipelined:
             # Find an unpipelined unit that is free; occupy it for the full latency.
             for index, busy_until in enumerate(group.busy_until):
                 if busy_until <= cycle:

@@ -71,6 +71,17 @@ class InflightOp:
         "dest_bank",
         "history_snapshot",
         "load_forwarded",
+        # Dependency-driven wake-up (see ooo.issue_queue.WakeupIssueQueue).
+        # ``wake_gen`` is bumped on every (re)initialisation so that stale
+        # registrations in a producer's consumer list are recognisable after the
+        # record has been recycled; ``unknown_producers`` counts producers whose
+        # availability cycle is not yet known; ``mem_blocked`` is the store-set
+        # gate; the two lists hold ``(consumer, wake_gen)`` registrations.
+        "wake_gen",
+        "unknown_producers",
+        "mem_blocked",
+        "wake_consumers",
+        "mem_waiters",
         # Pooling: arena index (-1 when unpooled) and completion-wheel membership.
         "slot",
         "in_completion_wheel",
@@ -78,6 +89,7 @@ class InflightOp:
 
     def __init__(self, dyn: DynInst) -> None:
         self.slot = -1
+        self.wake_gen = 0
         # Fields the fetch stage overwrites before anything reads them — reset here
         # for directly-constructed records, skipped by the pool's recycle path (the
         # only acquire site is fetch, which assigns all of them immediately).
@@ -91,6 +103,17 @@ class InflightOp:
         self.issue_cycle = UNKNOWN_CYCLE
         self.commit_cycle = UNKNOWN_CYCLE
         self.in_completion_wheel = False
+        # One-time defaults for the fields ``_init`` deliberately does not reset
+        # (a recycled record carries its previous incarnation's values there; see
+        # the invariant note at the end of ``_init``).
+        self.dispatch_cycle = UNKNOWN_CYCLE
+        self.complete_cycle = UNKNOWN_CYCLE
+        self.wait_until = 0
+        self.unknown_producers = 0
+        self.mem_blocked = False
+        self.producers: tuple[InflightOp | None, ...] = ()
+        self.mem_dependence: InflightOp | None = None
+        self.branch_outcome: BranchOutcome | None = None
         self._init(dyn)
 
     def _init(self, dyn: DynInst) -> None:
@@ -99,32 +122,47 @@ class InflightOp:
         A recycled record must be indistinguishable from a freshly constructed one
         on every path that can read it — the bit-identical determinism suite
         compares pooled and unpooled simulations.  Fields listed in ``__init__``
-        are exempt only because fetch overwrites them before any read.
+        are exempt only because fetch overwrites them before any read; a second
+        group of fields is exempt because a *later* stage overwrites them before
+        any read (see the end of this method).
         """
         self.dyn = dyn
         self.seq = dyn.seq
         self.pc = dyn.pc
         self.uop = dyn.uop
-        self.dispatch_cycle = UNKNOWN_CYCLE
-        self.complete_cycle = UNKNOWN_CYCLE
+        # A recycled record must never satisfy a wake-up registered against its
+        # previous incarnation: the generation token invalidates them all at once.
+        self.wake_gen += 1
+        self.wake_consumers = None
+        self.mem_waiters = None
         self.avail_cycle = UNKNOWN_CYCLE
-        self.wait_until = 0
         self.iq_waiters = 0
-        self.producers: tuple[InflightOp | None, ...] = ()
-        self.mem_dependence: InflightOp | None = None
         # Fetch only assigns predictions to VP-eligible µ-ops: clear here so a
         # recycled record never pins (or leaks) another µ-op's prediction.
         self.prediction: VPrediction | None = None
         self.pred_used = False
         self.early_executed = False
         self.late_executed = False
-        self.branch_outcome: BranchOutcome | None = None
         self.in_issue_queue = False
         self.issued = False
         self.executed = False
         self.squashed = False
         self.dest_bank = 0
         self.load_forwarded = False
+        # Deliberately NOT reset (overwritten before any read, so a stale value
+        # from the previous incarnation is unobservable):
+        #
+        # * ``dispatch_cycle``/``producers`` — assigned by rename/dispatch; only
+        #   read for dispatched µ-ops (issue-queue walks, EE planning, LE/VT port
+        #   model, squash PRF release, all post-dispatch);
+        # * ``complete_cycle`` — every read is gated on ``executed`` (reset
+        #   above), which is only set together with or after the assignment;
+        # * ``mem_dependence`` — assigned at dispatch for every load; reads are
+        #   guarded by ``uop.is_load``;
+        # * ``branch_outcome`` — assigned at fetch for every branch; reads are
+        #   guarded by ``uop.is_branch``/``is_conditional_branch``;
+        # * ``wait_until``/``unknown_producers``/``mem_blocked`` — assigned by
+        #   the (reference / wake-up) issue-queue insert before any read.
 
     # ------------------------------------------------------------------ dataflow helpers
     def result_available_cycle(self) -> int:

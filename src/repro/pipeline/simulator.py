@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import gc
 import os
+from bisect import insort
 from collections import deque
 from collections.abc import Iterable, Iterator
 
@@ -57,7 +58,13 @@ from repro.isa.trace import DynInst
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.ooo.functional_units import FunctionalUnitPool
 from repro.ooo.inflight import InflightOp, InflightOpPool, UNKNOWN_CYCLE
-from repro.ooo.issue_queue import IssueQueue
+from repro.ooo.issue_queue import (
+    _NEVER as _SHARED_NEVER,
+    WAKEUP_ENV_VAR,
+    IssueQueue,
+    WakeupIssueQueue,
+    wakeup_lists_enabled,
+)
 from repro.ooo.lsq import LoadStoreQueue
 from repro.ooo.registers import BankedRegisterFile, PRFPortBudget
 from repro.ooo.rob import ReorderBuffer
@@ -105,9 +112,16 @@ class Simulator:
         # plus the front-end, so a bounded-slack emulator limit is sufficient.  A
         # pre-captured trace (repro.trace) replaces the inline emulator entirely; it
         # must cover at least the same bounded-slack window to be bit-equivalent.
+        # ``_trace_list`` is the fetch fast path: a materialised capture is consumed
+        # by plain list indexing (one bounds check + one index per µ-op) instead of
+        # a generator resume; ``_trace`` remains the uniform iterator interface for
+        # the inline-emulation and ad-hoc-iterable paths.
+        self._trace_list: tuple[DynInst, ...] | None = None
+        self._trace_pos = 0
         if trace is not None:
             if isinstance(trace, CapturedTrace):
-                self._trace: Iterator[DynInst] = trace.replay()
+                self._trace_list = trace.instructions()
+                self._trace: Iterator[DynInst] = iter(())
             else:
                 self._trace = iter(trace)
         else:
@@ -131,7 +145,16 @@ class Simulator:
         self.predictor = config.make_predictor() if config.value_prediction else None
         self.hierarchy = MemoryHierarchy(config.memory)
         self.rob = ReorderBuffer(config.rob_size)
-        self.iq = IssueQueue(config.iq_size)
+        # Dependency-driven wake-up (REPRO_WAKEUP_LISTS, default on): producers keep
+        # explicit consumer lists and the IQ maintains an age-ordered ready list, so
+        # wake-up is O(woken) and select O(ready) instead of O(occupancy) walks.
+        # The scan-based IssueQueue remains the byte-identical reference.
+        self._wakeup = wakeup_lists_enabled()
+        self.iq = (
+            WakeupIssueQueue(config.iq_size, config.dispatch_to_issue_latency)
+            if self._wakeup
+            else IssueQueue(config.iq_size)
+        )
         self.lsq = LoadStoreQueue(config.lq_size, config.sq_size)
         self.store_sets = StoreSets(config.store_sets_ssit, config.store_sets_lfst)
         self.fu_pool = FunctionalUnitPool(config.functional_units)
@@ -153,6 +176,17 @@ class Simulator:
         self._levt_ports_limited = (
             config.has_levt_stage and config.levt_read_ports_per_bank is not None
         )
+        self._ee_enabled = config.eole.early.enabled
+        self._late_enabled = config.eole.late.enabled
+        self._multi_bank = config.prf_banks > 1
+        self._d2i = config.dispatch_to_issue_latency
+        # Completion-wheel diet (wake-up mode): a completion's only effect for
+        # µ-ops that are neither stores nor blocking fetch is ``executed = True``,
+        # and every reader of that flag also compares against the commit deadline
+        # ``complete_cycle + _commit_extra`` — so those µ-ops set the flag at
+        # issue and skip the wheel entirely.  The reference scan IQ *does* need
+        # every completion on the wheel (its issue-scan re-arm listens to them).
+        self._wheel_all = not self._wakeup
 
         # Issue-scan gating: IQ readiness only changes on discrete events — a
         # completion firing, a dispatched entry maturing past dispatch_to_issue
@@ -230,24 +264,127 @@ class Simulator:
         structural stall, one stall counter) — every candidate source in
         :meth:`_next_event_cycle` is conservative, so any cycle that could mutate
         other state is stepped normally.
+
+        This loop is the fused fast path: the per-cycle stage guards of
+        :meth:`_step`, the event-candidate computation of
+        :meth:`_next_event_cycle` and the bulk crediting of
+        :meth:`_skip_dead_cycles` are inlined into one body with the stable
+        pipeline structures hoisted into locals, so the common stepped cycle pays
+        no per-stage method indirection beyond the stages that actually run.
+        Those three methods remain the cycle-stepping reference implementation
+        (``REPRO_EVENT_DRIVEN=0``), and the determinism suite compares the two.
         """
+        stats = self.stats
+        completions = self._completions
+        frontend = self._frontend
+        replay = self._replay
+        rob_entries = self.rob._entries
+        commit_extra = self._commit_extra
+        frontend_capacity = self.config.frontend_capacity
+        never = self._NEVER
+        process_completions = self._process_completions
+        commit = self._commit
+        issue = self._issue
+        dispatch = self._dispatch
+        fetch = self._fetch
         while not self._finished:
-            self._step()
-            if self.cycle > deadlock_limit:
+            # ---- one stepped cycle (the _step reference, guards inlined) ----
+            cycle = self.cycle + 1
+            self.cycle = cycle
+            stats.cycles += 1
+            if completions and cycle in completions:
+                process_completions()
+            if not self._finished:
+                if rob_entries:
+                    head = rob_entries[0]
+                    if head.executed and cycle >= head.complete_cycle + commit_extra:
+                        commit()
+                if not self._finished:
+                    if cycle >= self._iq_scan_from:
+                        issue()
+                    if frontend and frontend[0].dispatch_ready_cycle <= cycle:
+                        dispatch()
+                    else:
+                        self._previous_dispatch_group = []
+                        self._dispatch_stall_reason = None
+                    if (
+                        self._fetch_blocked_on is None
+                        and cycle >= self._fetch_resume_cycle
+                        and len(frontend) < frontend_capacity
+                    ):
+                        fetch()
+                    if (
+                        self._trace_exhausted
+                        and not replay
+                        and not frontend
+                        and not rob_entries
+                    ):
+                        self._finished = True
+            if cycle > deadlock_limit:
                 self._raise_deadlock(deadlock_limit)
             if self._finished:
                 break
-            target = self._next_event_cycle()
-            if target > deadlock_limit + 1:
+            # ---- event scheduling (the _next_event_cycle reference, inlined) ----
+            # Fast path: when dispatch or fetch is guaranteed to act next cycle,
+            # the minimum candidate is cycle + 1 and the gap is zero — skip the
+            # full candidate scan (identical behaviour, nothing to credit).
+            if frontend:
+                if (
+                    frontend[0].dispatch_ready_cycle <= cycle
+                    and self._dispatch_stall_reason is None
+                ):
+                    continue
+            elif (
+                self._fetch_blocked_on is None
+                and self._fetch_resume_cycle <= cycle
+                and (replay or not self._trace_exhausted)
+            ):
+                continue
+            nxt = never
+            if completions:
+                nxt = min(completions)
+            if rob_entries:
+                head = rob_entries[0]
+                if head.executed:
+                    ready = head.complete_cycle + commit_extra
+                    candidate = ready if ready > cycle else cycle + 1
+                    if candidate < nxt:
+                        nxt = candidate
+            scan = self._iq_scan_from
+            if scan != never:
+                candidate = scan if scan > cycle else cycle + 1
+                if candidate < nxt:
+                    nxt = candidate
+            if frontend:
+                ready = frontend[0].dispatch_ready_cycle
+                if ready > cycle:
+                    if ready < nxt:
+                        nxt = ready
+                elif self._dispatch_stall_reason is None:
+                    if cycle + 1 < nxt:
+                        nxt = cycle + 1
+            if (
+                self._fetch_blocked_on is None
+                and (replay or not self._trace_exhausted)
+                and len(frontend) < frontend_capacity
+            ):
+                resume = self._fetch_resume_cycle
+                candidate = resume if resume > cycle else cycle + 1
+                if candidate < nxt:
+                    nxt = candidate
+            if nxt > deadlock_limit + 1:
                 # No event before the deadlock horizon: step once at the horizon so
                 # the reference loop's failure mode (and cycle accounting) is kept.
-                target = deadlock_limit + 1
-            gap = target - self.cycle - 1
+                nxt = deadlock_limit + 1
+            gap = nxt - cycle - 1
             if gap > 0:
                 self._skip_dead_cycles(gap)
 
     #: Sentinel for "no known future event" (also used by the issue-scan gating).
-    _NEVER = 1 << 62
+    # Shared with the wake-up IQ's wheel sentinel: the fused issue path copies
+    # ``iq._wake_min`` straight into ``_iq_scan_from``, so the two "no known
+    # future cycle" values must be the same object of comparison.
+    _NEVER = _SHARED_NEVER
 
     def _next_event_cycle(self) -> int:
         """Earliest future cycle at which any pipeline stage could make progress.
@@ -382,13 +519,16 @@ class Simulator:
         ops = self._completions.pop(self.cycle, None)
         if not ops:
             return
+        rearm = not self._wakeup
         for op in ops:
             op.in_completion_wheel = False
-            if op.iq_waiters and not op.squashed and self.cycle < self._iq_scan_from:
+            if rearm and op.iq_waiters and not op.squashed and self.cycle < self._iq_scan_from:
                 # The completed producer has waiting IQ consumers: they may wake
                 # this very cycle.  (Completions nobody renamed against — stores,
                 # branches, dead values — never need to re-arm the scan: store-set
-                # dependences release at store *issue*, not completion.)
+                # dependences release at store *issue*, not completion.  The
+                # wake-up IQ needs no completion re-arm at all: a waking
+                # consumer's exact deadline is already on its wheel.)
                 self._iq_scan_from = self.cycle
             if op.squashed:
                 # A squashed µ-op's stale wheel entry was its last reference; its
@@ -418,15 +558,45 @@ class Simulator:
         return op.complete_cycle + self.config.writeback_to_commit_latency + extra
 
     def _commit(self) -> None:
+        """In-order retirement of up to ``commit_width`` µ-ops (the LE/VT stage).
+
+        Fused fast path: the per-µ-op :meth:`_retire` bookkeeping and the
+        :meth:`_validate_and_train` correctness decision are inlined (both are
+        kept below as the reference implementations), and the commit-side table
+        training is batched into one ``train_commit_group`` call per commit
+        group for the branch predictor and the value predictor each.  The
+        deferral is invisible: the deferred updates touch only predictor tables
+        and predictor-local statistics (read at result-build time), never
+        ``SimStats``; their per-item order is the commit order; and on a value
+        misprediction the batch — offender included, which trains exactly like
+        the reference — is flushed *before* :meth:`_squash_from` runs predictor
+        recovery.  The correctness decision itself needs no table state (it
+        compares the fetched prediction against the architectural result), so
+        deciding before training is equivalent.
+        """
         committed = 0
         late_alus_used = 0
         cycle = self.cycle
         commit_extra = self._commit_extra
         late_alu_limit = self.late_block.config.alus
+        commit_width = self.config.commit_width
+        levt_limited = self._levt_ports_limited
         # The head peek/pop pair runs once per committed µ-op: the deque is read
         # directly (same entries ReorderBuffer.head/pop_head expose).
         rob_entries = self.rob._entries
-        while committed < self.config.commit_width:
+        stats = self.stats
+        predictor = self.predictor
+        rename_map = self._rename_map
+        prf = self.prf
+        lsq = self.lsq
+        pool_deferred = self.pool._deferred
+        hierarchy_store = self.hierarchy.store
+        store_sets = self.store_sets
+        last_dispatched = self._last_dispatched_seq
+        vp_group: list = []
+        bpu_group: list = []
+        squash_seq = -1
+        while committed < commit_width:
             if not rob_entries:
                 break
             op = rob_entries[0]
@@ -434,31 +604,126 @@ class Simulator:
                 break
             if cycle < op.complete_cycle + commit_extra:
                 break
-            if op.late_executed:
-                if late_alus_used >= late_alu_limit:
-                    self.stats.late_alu_stalls += 1
-                    break
-            if self._levt_ports_limited:
+            late_executed = op.late_executed
+            if late_executed and late_alus_used >= late_alu_limit:
+                stats.late_alu_stalls += 1
+                break
+            if levt_limited:
                 banks = self.late_block.levt_read_banks(op)
-                if not self.prf.try_levt_reads(banks, cycle):
-                    self.stats.levt_port_stalls += 1
+                if not prf.try_levt_reads(banks, cycle):
+                    stats.levt_port_stalls += 1
                     break
 
-            # The µ-op retires this cycle.
+            # The µ-op retires this cycle (inlined _retire).
             rob_entries.popleft()
             op.commit_cycle = cycle
             committed += 1
-            if op.late_executed:
+            if late_executed:
                 late_alus_used += 1
-            self._retire(op)
+            uop = op.uop
+            dyn = op.dyn
+            kind = uop.hot_mask
+            stats.committed_uops += 1
+            if kind & 1:  # branch
+                stats.committed_branches += 1
+                if kind & 2:
+                    stats.committed_cond_branches += 1
+            if kind & 4:  # load
+                stats.committed_loads += 1
+                if op.load_forwarded:
+                    stats.forwarded_loads += 1
+            elif kind & 8:  # store
+                stats.committed_stores += 1
+                if dyn.addr is not None:
+                    hierarchy_store(dyn.addr, op.pc, cycle)
+                # Scrub any remaining LFST reference before the record is recycled
+                # (observably a no-op: a retired store already has ``issued`` set).
+                store_sets.store_retired(op)
+            if kind & 32:  # vp-eligible
+                stats.committed_vp_eligible += 1
+            if op.early_executed:
+                stats.early_executed += 1
+            elif late_executed:
+                if kind & 2:
+                    stats.late_resolved_branches += 1
+                else:
+                    stats.late_executed_alu += 1
+            if op.pred_used:
+                stats.predictions_used += 1
+
+            # Free the rename mapping and the physical register.
+            for dst in uop.dst_regs:
+                if rename_map.get(dst) is op:
+                    del rename_map[dst]
+            if kind & 64:  # has a destination register
+                prf.release(op.dest_bank)
+            if kind & 16:  # memory
+                lsq.remove(op)
+
+            # Branch predictor training (batched) and late branch resolution.
+            if kind & 1:
+                outcome = op.branch_outcome
+                if kind & 2 and outcome is not None:
+                    bpu_group.append((op.pc, outcome))
+                    if outcome.mispredicted:
+                        stats.branch_mispredictions += 1
+                        if outcome.high_confidence:
+                            stats.high_confidence_branch_mispredictions += 1
+                    if op is self._fetch_blocked_on:
+                        # A late-resolved (LE/VT) mispredicted branch unblocks
+                        # fetch at commit.
+                        self._resume_fetch_after_resolution()
+                elif outcome is not None and outcome.mispredicted:
+                    stats.branch_mispredictions += 1
+
+            if not self._warmup_done and stats.committed_uops >= self.warmup_uops:
+                self._warmup_snapshot = stats.copy()
+                self._warmup_done = True
+            if stats.committed_uops >= self.max_uops:
+                self._finished = True
+
+            # Park the record for recycling (inlined pool.retire; see _retire).
+            pool_deferred.append((last_dispatched, op))
             if self._finished:
-                return
-            squashed = self._validate_and_train(op)
-            if squashed:
+                # The reference returns before validating the run's final µ-op;
+                # mirror it (its value-predictor entry is never appended).
                 break
 
+            # Prediction validation (inlined _validate_and_train; training deferred).
+            if predictor is not None and kind & 32 and dyn.result is not None:
+                actual = dyn.result
+                prediction = op.prediction
+                vp_group.append((op.pc, actual, prediction))
+                if op.pred_used:
+                    value_correct = prediction.value == actual
+                    flags_ok = True
+                    if kind & 128 and dyn.flags_result is not None:
+                        flags_ok = flags_match_for_validation(
+                            dyn.flags_result, approximate_flags(prediction.value)
+                        )
+                        if value_correct and not flags_ok:
+                            stats.flag_only_mispredictions += 1
+                    if not value_correct or not flags_ok:
+                        # Value misprediction: the offending µ-op retires with the
+                        # architectural value, everything younger is squashed and
+                        # re-fetched (Section 3.1: pipeline squash).
+                        stats.value_mispredictions += 1
+                        squash_seq = op.seq + 1
+                        break
+
+        if bpu_group:
+            self.bpu.train_commit_group(bpu_group)
+        if vp_group:
+            predictor.train_commit_group(vp_group)
+        if squash_seq >= 0:
+            self._squash_from(squash_seq)
+
     def _retire(self, op: InflightOp) -> None:
-        """Bookkeeping common to every retiring µ-op."""
+        """Bookkeeping common to every retiring µ-op.
+
+        Reference implementation: :meth:`_commit` inlines this per-µ-op body on
+        its fast path (kept in sync; the only intentional difference is that the
+        fast path defers ``bpu.train`` into a per-commit-group batch)."""
         uop = op.uop
         stats = self.stats
         stats.committed_uops += 1
@@ -528,7 +793,10 @@ class Simulator:
         self.pool.retire(op, self._last_dispatched_seq)
 
     def _validate_and_train(self, op: InflightOp) -> bool:
-        """Prediction validation + predictor training; returns True if a squash occurred."""
+        """Prediction validation + predictor training; returns True if a squash occurred.
+
+        Reference implementation: :meth:`_commit` inlines the correctness decision
+        and defers the training into a per-commit-group batch (kept in sync)."""
         if self.predictor is None or not op.uop.vp_eligible or op.dyn.result is None:
             return False
         actual = op.dyn.result
@@ -575,6 +843,9 @@ class Simulator:
         return op.uop.latency
 
     def _issue(self) -> None:
+        if self._wakeup:
+            self._issue_wakeup()
+            return
         cycle = self.cycle
         if cycle < self._iq_scan_from:
             return
@@ -625,6 +896,87 @@ class Simulator:
             mature_at = self.iq.next_immature_cycle
             self._iq_scan_from = mature_at if mature_at is not None else self._NEVER
 
+    def _issue_wakeup(self) -> None:
+        """:meth:`_issue` fused with :meth:`WakeupIssueQueue.select_ready`.
+
+        The scan-based ``_issue`` with the wake-up IQ's maintained ready list
+        substituted for the queue walk: the ready set at any scanned cycle — and
+        hence the age-ordered selection and every issue cycle — is identical to
+        the reference walk's.  Scan scheduling, however, uses the IQ's *exact*
+        deadlines rather than the reference's conservative re-arm heuristics:
+        ``_iq_scan_from`` becomes ``cycle + 1`` while ready entries remain
+        (functional-unit rejects or width exhaustion, exactly when the reference
+        rescans) and the earliest wheel deadline otherwise.  Any scan skipped
+        relative to the reference is one with an empty ready list, which walks
+        nothing, selects nothing and mutates nothing — observably a no-op.
+        """
+        cycle = self.cycle
+        if cycle < self._iq_scan_from:
+            return
+        iq = self.iq
+        ready = iq._ready
+        if iq._wake_min <= cycle:
+            # Inlined WakeupIssueQueue._surface_ripe (kept as the reference).
+            buckets = iq._wake_buckets
+            added = False
+            while buckets:
+                key = iq._wake_min
+                if key > cycle:
+                    break
+                for op, gen in buckets.pop(key):
+                    if op.wake_gen == gen and not op.squashed:
+                        ready.append((op.seq, op))
+                        added = True
+                iq._wake_min = min(buckets) if buckets else self._NEVER
+            if added:
+                ready.sort()
+        if ready:
+            fu_pool = self.fu_pool
+            try_issue = fu_pool.try_issue
+            members = iq._members
+            width_left = self.config.issue_width
+            selected: list[InflightOp] = []
+            selected_append = selected.append
+            index = 0
+            while index < len(ready) and width_left:
+                seq, op = ready[index]
+                uop = op.uop
+                if not try_issue(uop.opclass, cycle, uop.latency):
+                    index += 1
+                    continue
+                del ready[index]
+                del members[seq]
+                op.issued = True
+                op.issue_cycle = cycle
+                op.in_issue_queue = False
+                selected_append(op)
+                width_left -= 1
+                if uop.is_store:
+                    waiters = op.mem_waiters
+                    if waiters:
+                        # Store-set release: dependent loads (younger, hence later
+                        # in age order) join this very pass, exactly like the
+                        # reference walk observing ``dependence.issued`` mid-scan.
+                        op.mem_waiters = None
+                        for waiter, gen in waiters:
+                            if waiter.wake_gen != gen or waiter.squashed:
+                                continue
+                            waiter.mem_blocked = False
+                            if waiter.unknown_producers:
+                                continue
+                            ready_at = iq._ready_cycle(waiter)
+                            if ready_at <= cycle:
+                                insort(ready, (waiter.seq, waiter))
+                            else:
+                                iq._park(waiter, gen, ready_at)
+            start_execution = self._start_execution
+            for op in selected:
+                start_execution(op)
+        # Exact re-arm: leftovers retry next cycle, otherwise the next entry to
+        # become ready is the earliest wheel deadline (parks performed by the
+        # selection and its _start_execution wake-ups are already reflected).
+        self._iq_scan_from = cycle + 1 if ready else iq._wake_min
+
     def _start_execution(self, op: InflightOp) -> None:
         uop = op.uop
         cycle = self.cycle
@@ -635,25 +987,343 @@ class Simulator:
                 memory_latency = 2
             else:
                 memory_latency = self.hierarchy.load(op.dyn.addr, op.pc, cycle)
-            op.complete_cycle = cycle + 1 + memory_latency
+            complete = cycle + 1 + memory_latency
         elif uop.is_store:
-            op.complete_cycle = cycle + 1
+            complete = cycle + 1
         else:
-            op.complete_cycle = cycle + uop.latency
+            complete = cycle + uop.latency
+        op.complete_cycle = complete
         if not op.pred_used:
             # Predicted results stay available from dispatch; everything else
             # becomes consumable when execution completes.
-            op.avail_cycle = op.complete_cycle
-        op.in_completion_wheel = True
-        completions = self._completions
-        wheel_slot = completions.get(op.complete_cycle)
-        if wheel_slot is None:
-            completions[op.complete_cycle] = [op]
+            op.avail_cycle = complete
+            consumers = op.wake_consumers
+            if consumers is not None:
+                # Wake-up lists: O(consumers) resolution of the now-known
+                # availability (registrations only exist in wake-up mode;
+                # WakeupIssueQueue.producer_available inlined).
+                op.wake_consumers = None
+                iq = self.iq
+                d2i = self._d2i
+                buckets = iq._wake_buckets
+                for consumer, gen in consumers:
+                    if consumer.wake_gen != gen or consumer.squashed:
+                        continue
+                    remaining = consumer.unknown_producers - 1
+                    consumer.unknown_producers = remaining
+                    if remaining or consumer.mem_blocked:
+                        continue
+                    ready_at = consumer.dispatch_cycle + d2i
+                    for producer in consumer.producers:
+                        if producer is not None and producer.avail_cycle > ready_at:
+                            ready_at = producer.avail_cycle
+                    bucket = buckets.get(ready_at)
+                    if bucket is None:
+                        buckets[ready_at] = [(consumer, gen)]
+                        if ready_at < iq._wake_min:
+                            iq._wake_min = ready_at
+                    else:
+                        bucket.append((consumer, gen))
+        if uop.is_store or self._wheel_all or op is self._fetch_blocked_on:
+            op.in_completion_wheel = True
+            completions = self._completions
+            wheel_slot = completions.get(complete)
+            if wheel_slot is None:
+                completions[complete] = [op]
+            else:
+                wheel_slot.append(op)
         else:
-            wheel_slot.append(op)
+            # Wheel diet (wake-up mode): the completion would only have set this
+            # flag; every reader also checks the commit deadline, so setting it
+            # at issue is invisible.
+            op.executed = True
 
     # ================================================================== rename / dispatch
     def _dispatch(self) -> None:
+        """Rename/dispatch up to ``rename_width`` front-end µ-ops.
+
+        Fused fast path for machines without Early Execution: rename (phase A/B)
+        and classification/IQ insertion (phase D/E) run in one loop per µ-op, so
+        every per-µ-op attribute is read once.  EE machines need the phase C
+        barrier (the EE planner sees the whole rename group at once) and keep the
+        two-phase reference, :meth:`_dispatch_eole`.  The one asymmetric case is
+        an IQ-full rollback: the reference renames the *whole* group before
+        discovering the full IQ, so the fused loop falls into
+        :meth:`_dispatch_overshoot` to replicate that overshoot exactly (it is
+        observable through ROB/LSQ peak-occupancy statistics and the PRF
+        round-robin allocation pointer, which rollback does not rewind).
+        """
+        if self._ee_enabled:
+            self._dispatch_eole()
+            return
+        cycle = self.cycle
+        frontend = self._frontend
+        self._dispatch_stall_reason = None
+        if not frontend or frontend[0].dispatch_ready_cycle > cycle:
+            self._previous_dispatch_group = []
+            return
+        config = self.config
+        rename_width = config.rename_width
+        multi_bank = self._multi_bank
+        rename_map = self._rename_map
+        rob = self.rob
+        lsq = self.lsq
+        prf = self.prf
+        stats = self.stats
+        rob_entries = rob._entries
+        rob_capacity = rob.capacity
+        lsq_loads = lsq._loads
+        lsq_stores = lsq._stores
+        lq_capacity = lsq.lq_capacity
+        sq_capacity = lsq.sq_capacity
+        prf_allocated = prf._allocated
+        late_enabled = self._late_enabled
+        late_block = self.late_block
+        iq = self.iq
+        wakeup = self._wakeup
+        iq_level = iq._members if wakeup else iq._entries
+        iq_capacity = iq.capacity
+        store_sets = self.store_sets
+        nop_class = OpClass.NOP
+        d2i = self._d2i
+        scan_wake = cycle + d2i
+        maturity = scan_wake
+        wake_buckets = iq._wake_buckets if wakeup else None
+        unknown_cycle = UNKNOWN_CYCLE
+        group: list[InflightOp] = []
+        overshot = False
+        while len(group) < rename_width and frontend:
+            op = frontend[0]
+            if op.dispatch_ready_cycle > cycle:
+                break
+            uop = op.uop
+            kind = uop.hot_mask
+            # Structural space checks (identical to the two-phase reference).
+            if len(rob_entries) >= rob_capacity:
+                stats.rob_full_stalls += 1
+                if not group:
+                    self._dispatch_stall_reason = "rob"
+                break
+            if kind & 16 and (  # memory
+                len(lsq_loads) >= lq_capacity
+                if kind & 4
+                else len(lsq_stores) >= sq_capacity
+            ):
+                stats.lsq_full_stalls += 1
+                if not group:
+                    self._dispatch_stall_reason = "lsq"
+                break
+            if kind & 64 and multi_bank and not prf.can_allocate():
+                stats.prf_bank_stalls += 1
+                prf.record_bank_full_stall()
+                if not group:
+                    self._dispatch_stall_reason = "prf"
+                break
+            frontend.popleft()
+            # Rename (unrolled for the dominant 0/1/2-source shapes).
+            sources = uop.src_regs
+            if not sources:
+                producers: tuple[InflightOp | None, ...] = ()
+            elif len(sources) == 1:
+                producers = (rename_map.get(sources[0]),)
+            elif len(sources) == 2:
+                reg_a, reg_b = sources
+                producers = (rename_map.get(reg_a), rename_map.get(reg_b))
+            else:
+                producers = tuple(rename_map.get(reg) for reg in sources)
+            op.producers = producers
+            for dst in uop.dst_regs:
+                rename_map[dst] = op
+            group.append(op)
+            rob_entries.append(op)
+            if kind & 4:  # load
+                lsq_loads.append(op)
+            elif kind & 8:  # store
+                lsq_stores.append(op)
+            if multi_bank:
+                if kind & 64:
+                    op.dest_bank = prf.next_bank()
+                    prf.allocate()
+                else:
+                    prf.advance_without_allocation()
+            elif kind & 64:
+                prf_allocated[0] += 1
+            op.dispatch_cycle = cycle
+
+            # Classification + IQ insertion (phase D/E, EE impossible here).
+            pred_used = op.pred_used
+            if late_enabled and (pred_used or kind & 2):
+                late_block.classify(op)
+            if pred_used:
+                op.avail_cycle = cycle
+                if kind & 64 and not prf.try_ee_write(op.dest_bank, cycle):
+                    stats.ee_write_port_stalls += 1
+            if op.late_executed or kind & 256:
+                op.complete_cycle = cycle
+                op.executed = True
+                if kind & 4:
+                    op.mem_dependence = store_sets.dependence_for_load(op)
+                elif kind & 8:
+                    store_sets.register_store(op)
+            else:
+                if len(iq_level) >= iq_capacity:
+                    stats.iq_full_stalls += 1
+                    self._record_dispatch_peaks()
+                    group = self._dispatch_overshoot(group)
+                    overshot = True
+                    break
+                dependence = None
+                if kind & 4:
+                    dependence = store_sets.dependence_for_load(op)
+                    op.mem_dependence = dependence
+                elif kind & 8:
+                    store_sets.register_store(op)
+                if wakeup:
+                    # Inlined WakeupIssueQueue.insert (kept as the reference).
+                    op.in_issue_queue = True
+                    iq_level[op.seq] = op
+                    gen = op.wake_gen
+                    unknown = 0
+                    ready_at = maturity
+                    for producer in producers:
+                        if producer is None:
+                            continue
+                        avail = producer.avail_cycle
+                        if avail == unknown_cycle:
+                            unknown += 1
+                            consumers = producer.wake_consumers
+                            if consumers is None:
+                                producer.wake_consumers = [(op, gen)]
+                            else:
+                                consumers.append((op, gen))
+                        elif avail > ready_at:
+                            ready_at = avail
+                    op.unknown_producers = unknown
+                    if dependence is not None:
+                        op.mem_blocked = True
+                        waiters = dependence.mem_waiters
+                        if waiters is None:
+                            dependence.mem_waiters = [(op, gen)]
+                        else:
+                            waiters.append((op, gen))
+                    else:
+                        op.mem_blocked = False
+                        if not unknown:
+                            bucket = wake_buckets.get(ready_at)
+                            if bucket is None:
+                                wake_buckets[ready_at] = [(op, gen)]
+                                if ready_at < iq._wake_min:
+                                    iq._wake_min = ready_at
+                            else:
+                                bucket.append((op, gen))
+                else:
+                    op.in_issue_queue = True
+                    op.wait_until = 0
+                    iq_level.append(op)
+                    for producer in producers:
+                        if producer is not None:
+                            producer.iq_waiters += 1
+                    if scan_wake < self._iq_scan_from:
+                        self._iq_scan_from = scan_wake
+                stats.dispatched_to_iq += 1
+
+        if not overshot:
+            # Peak statistics, deferred out of the per-µ-op loop: within one
+            # dispatch call these structures only grow, so the end-of-loop
+            # occupancy is the cycle's maximum (identical values to per-append
+            # updates; the overshoot path records them before rolling back).
+            self._record_dispatch_peaks()
+        if wakeup:
+            # One exact re-arm per dispatch group: freshly parked entries carry
+            # their precise readiness deadline on the wheel.
+            wake_min = iq._wake_min
+            if wake_min < self._iq_scan_from:
+                self._iq_scan_from = wake_min
+        if group and not overshot:
+            self._last_dispatched_seq = group[-1].seq
+        self._previous_dispatch_group = group
+
+    def _record_dispatch_peaks(self) -> None:
+        """Fold the current ROB/LSQ/IQ occupancies into their peak statistics."""
+        rob = self.rob
+        occupancy = len(rob._entries)
+        if occupancy > rob.peak_occupancy:
+            rob.peak_occupancy = occupancy
+        lsq = self.lsq
+        occupancy = len(lsq._loads)
+        if occupancy > lsq.peak_lq_occupancy:
+            lsq.peak_lq_occupancy = occupancy
+        occupancy = len(lsq._stores)
+        if occupancy > lsq.peak_sq_occupancy:
+            lsq.peak_sq_occupancy = occupancy
+        iq = self.iq
+        occupancy = len(iq._members) if self._wakeup else len(iq._entries)
+        if occupancy > iq.peak_occupancy:
+            iq.peak_occupancy = occupancy
+
+    def _dispatch_overshoot(self, group: list[InflightOp]) -> list[InflightOp]:
+        """Replicate the reference's rename overshoot when the IQ fills mid-group.
+
+        The two-phase reference renames the whole group (phase A/B) before phase
+        D/E discovers the full IQ at ``group[-1]``; the extra renames bump
+        ROB/LSQ peak-occupancy statistics and advance the PRF round-robin
+        pointer before the rollback returns every op from the IQ-denied one on
+        to the front-end.  This continues phase A/B from where the fused loop
+        stopped — structural stall counters included — then performs the same
+        rollback, returning the surviving (truncated) group.
+        """
+        cycle = self.cycle
+        config = self.config
+        frontend = self._frontend
+        rename_width = config.rename_width
+        multi_bank = self._multi_bank
+        rename_map = self._rename_map
+        rob = self.rob
+        lsq = self.lsq
+        prf = self.prf
+        stats = self.stats
+        first_undispatched = len(group) - 1
+        while len(group) < rename_width and frontend:
+            op = frontend[0]
+            if op.dispatch_ready_cycle > cycle:
+                break
+            uop = op.uop
+            if not rob.has_space():
+                stats.rob_full_stalls += 1
+                break
+            if uop.is_memory and not lsq.has_space(op):
+                stats.lsq_full_stalls += 1
+                break
+            if uop.dst is not None and multi_bank and not prf.can_allocate():
+                stats.prf_bank_stalls += 1
+                prf.record_bank_full_stall()
+                break
+            frontend.popleft()
+            sources = uop.src_regs
+            op.producers = tuple(rename_map.get(reg) for reg in sources)
+            for dst in uop.dst_regs:
+                rename_map[dst] = op
+            group.append(op)
+            rob.push_renamed(op)
+            if uop.is_memory:
+                lsq.insert(op)
+            if multi_bank:
+                if uop.dst is not None:
+                    op.dest_bank = prf.next_bank()
+                    prf.allocate()
+                else:
+                    prf.advance_without_allocation()
+            elif uop.dst is not None:
+                prf._allocated[0] += 1
+            op.dispatch_cycle = cycle
+        # The reference records the dispatch high-water mark over the *renamed*
+        # group, overshoot included (rollback does not lower it).
+        self._last_dispatched_seq = group[-1].seq
+        self._rollback_undispatched(group, first_undispatched)
+        return group[:first_undispatched]
+
+    def _dispatch_eole(self) -> None:
+        """Two-phase rename/dispatch (the reference; EE needs the group barrier)."""
         cycle = self.cycle
         frontend = self._frontend
         self._dispatch_stall_reason = None
@@ -688,6 +1358,7 @@ class Simulator:
             if op.dispatch_ready_cycle > cycle:
                 break
             uop = op.uop
+            kind = uop.hot_mask
             # Structural space checks (see _structural_space_for_op, kept as the
             # reference implementation).  A stall hit before *any* progress parks
             # the stage: the identical check fails every cycle (one stall counted
@@ -698,16 +1369,16 @@ class Simulator:
                 if not group:
                     self._dispatch_stall_reason = "rob"
                 break
-            if uop.is_memory and (
+            if kind & 16 and (  # memory
                 len(lsq_loads) >= lq_capacity
-                if uop.is_load
+                if kind & 4
                 else len(lsq_stores) >= sq_capacity
             ):
                 stats.lsq_full_stalls += 1
                 if not group:
                     self._dispatch_stall_reason = "lsq"
                 break
-            if uop.dst is not None and multi_bank and not prf.can_allocate():
+            if kind & 64 and multi_bank and not prf.can_allocate():
                 stats.prf_bank_stalls += 1
                 prf.record_bank_full_stall()
                 if not group:
@@ -732,29 +1403,34 @@ class Simulator:
             # Structural allocation happens immediately so the next iteration's space
             # checks see it (ROB/LSQ/PRF are per-µ-op resources, not per-group).
             rob_entries.append(op)
-            if len(rob_entries) > rob.peak_occupancy:
-                rob.peak_occupancy = len(rob_entries)
-            if uop.is_memory:
-                if uop.is_load:
-                    lsq_loads.append(op)
-                    if len(lsq_loads) > lsq.peak_lq_occupancy:
-                        lsq.peak_lq_occupancy = len(lsq_loads)
-                elif uop.is_store:
-                    lsq_stores.append(op)
-                    if len(lsq_stores) > lsq.peak_sq_occupancy:
-                        lsq.peak_sq_occupancy = len(lsq_stores)
+            if kind & 4:  # load
+                lsq_loads.append(op)
+            elif kind & 8:  # store
+                lsq_stores.append(op)
             if multi_bank:
-                if uop.dst is not None:
+                if kind & 64:
                     op.dest_bank = prf.next_bank()
                     prf.allocate()
                 else:
                     prf.advance_without_allocation()
-            elif uop.dst is not None:
+            elif kind & 64:
                 # Single-bank PRF: the allocation pointer never moves and the
                 # destination bank is always 0 (the record's reset default).
                 prf_allocated[0] += 1
             op.dispatch_cycle = cycle
 
+        # ROB/LSQ peaks, deferred out of the per-µ-op loop (within one dispatch
+        # call these structures only grow, so end-of-phase occupancy is the max;
+        # the IQ-full rollback path below never shrinks them before this point).
+        occupancy = len(rob_entries)
+        if occupancy > rob.peak_occupancy:
+            rob.peak_occupancy = occupancy
+        occupancy = len(lsq_loads)
+        if occupancy > lsq.peak_lq_occupancy:
+            lsq.peak_lq_occupancy = occupancy
+        occupancy = len(lsq_stores)
+        if occupancy > lsq.peak_sq_occupancy:
+            lsq.peak_sq_occupancy = occupancy
         if not group:
             self._previous_dispatch_group = []
             return
@@ -765,17 +1441,23 @@ class Simulator:
             self.early_block.plan(group, self._previous_dispatch_group)
 
         # Phase D/E: Late-Execution classification, IQ insertion and port accounting.
+        # The store-set hookup runs *before* the IQ insertion (the wake-up insert
+        # reads ``mem_dependence``); relative to the reference order this swaps two
+        # operations on disjoint state within one µ-op, and the capacity check still
+        # precedes both, so a µ-op denied an IQ slot never touches the LFST.
         late_enabled = config.eole.late.enabled
         late_block = self.late_block
         iq = self.iq
-        iq_entries = iq._entries
+        wakeup = self._wakeup
+        iq_level = iq._members if wakeup else iq._entries
         iq_capacity = iq.capacity
         store_sets = self.store_sets
         nop_class = OpClass.NOP
         for op in group:
             uop = op.uop
+            kind = uop.hot_mask
             pred_used = op.pred_used
-            if late_enabled and (pred_used or uop.is_conditional_branch):
+            if late_enabled and (pred_used or kind & 2):
                 # Pre-filter: only predicted µ-ops and conditional branches can be
                 # late-executable (classify returns False for everything else).
                 late_block.classify(op)
@@ -783,36 +1465,49 @@ class Simulator:
                 # The result is written to the PRF at dispatch: dependents may
                 # consume it from this cycle on (mirrors result_available_cycle).
                 op.avail_cycle = cycle
-                if uop.dst is not None and not prf.try_ee_write(op.dest_bank, cycle):
+                if kind & 64 and not prf.try_ee_write(op.dest_bank, cycle):
                     # Port pressure delays the write by a cycle; modelled as a slight
                     # dispatch-side stall statistic rather than a structural replay.
                     stats.ee_write_port_stalls += 1
-            if op.early_executed or op.late_executed or uop.opclass is nop_class:
+            if op.early_executed or op.late_executed or kind & 256:
                 # Bypasses the OoO engine entirely (or needs no execution at all).
                 op.complete_cycle = op.dispatch_cycle
                 op.executed = True
+                if kind & 4:
+                    op.mem_dependence = store_sets.dependence_for_load(op)
+                elif kind & 8:
+                    store_sets.register_store(op)
             else:
-                if len(iq_entries) >= iq_capacity:
+                if len(iq_level) >= iq_capacity:
                     stats.iq_full_stalls += 1
                     self._rollback_undispatched(group, group.index(op))
                     group = group[: group.index(op)]
                     break
-                op.in_issue_queue = True
-                iq_entries.append(op)
-                if len(iq_entries) > iq.peak_occupancy:
-                    iq.peak_occupancy = len(iq_entries)
-                for producer in op.producers:
-                    if producer is not None:
-                        producer.iq_waiters += 1
+                if kind & 4:
+                    op.mem_dependence = store_sets.dependence_for_load(op)
+                elif kind & 8:
+                    store_sets.register_store(op)
+                if wakeup:
+                    iq.insert(op)
+                else:
+                    op.in_issue_queue = True
+                    op.wait_until = 0
+                    iq_level.append(op)
+                    if len(iq_level) > iq.peak_occupancy:
+                        iq.peak_occupancy = len(iq_level)
+                    for producer in op.producers:
+                        if producer is not None:
+                            producer.iq_waiters += 1
+                    wake = cycle + config.dispatch_to_issue_latency
+                    if wake < self._iq_scan_from:
+                        self._iq_scan_from = wake
                 stats.dispatched_to_iq += 1
-                wake = cycle + config.dispatch_to_issue_latency
-                if wake < self._iq_scan_from:
-                    self._iq_scan_from = wake
-            if uop.is_load:
-                op.mem_dependence = store_sets.dependence_for_load(op)
-            elif uop.is_store:
-                store_sets.register_store(op)
 
+        if wakeup:
+            # One exact re-arm per dispatch group (see _dispatch).
+            wake_min = iq._wake_min
+            if wake_min < self._iq_scan_from:
+                self._iq_scan_from = wake_min
         self._previous_dispatch_group = group
 
     def _structural_space_for_op(self, op: InflightOp) -> str | None:
@@ -868,6 +1563,14 @@ class Simulator:
             return self._replay.popleft()
         if self._trace_exhausted:
             return None
+        trace_list = self._trace_list
+        if trace_list is not None:
+            pos = self._trace_pos
+            if pos >= len(trace_list):
+                self._trace_exhausted = True
+                return None
+            self._trace_pos = pos + 1
+            return trace_list[pos]
         try:
             return next(self._trace)
         except StopIteration:
@@ -884,9 +1587,18 @@ class Simulator:
         # record's release and its reuse.  (The pool's deferred queue is consulted
         # directly to keep the common nothing-parked cycle call-free.)
         pool = self.pool
-        if pool._deferred:
-            head = self.rob.head()
-            pool.promote(head.seq if head is not None else None)
+        deferred = pool._deferred
+        if deferred:
+            # Inlined pool.promote (kept as the reference implementation).
+            rob_entries = self.rob._entries
+            free = pool._free
+            if rob_entries:
+                oldest = rob_entries[0].seq
+                while deferred and deferred[0][0] < oldest:
+                    free.append(deferred.popleft()[1].slot)
+            else:
+                while deferred:
+                    free.append(deferred.popleft()[1].slot)
         if self._fetch_blocked_on is not None:
             return
         cycle = self.cycle
@@ -914,12 +1626,24 @@ class Simulator:
         l1i_num_sets = l1i.num_sets
         l1i_line_size = l1i.line_size
         l1i_stats = l1i.stats
+        trace_list = self._trace_list
+        trace_length = len(trace_list) if trace_list is not None else 0
+        unknown_cycle = UNKNOWN_CYCLE
         fetched = 0
         taken_branches = 0
         while fetched < fetch_width:
             # Inlined _next_dyninst (kept below as the reference implementation).
+            # A materialised capture is consumed by plain indexing — no generator
+            # resume, no StopIteration — which is the dominant fetch source.
             if replay:
                 dyn = replay.popleft()
+            elif trace_list is not None:
+                pos = self._trace_pos
+                if pos >= trace_length:
+                    self._trace_exhausted = True
+                    break
+                dyn = trace_list[pos]
+                self._trace_pos = pos + 1
             elif self._trace_exhausted:
                 break
             else:
@@ -929,7 +1653,8 @@ class Simulator:
                     self._trace_exhausted = True
                     break
             uop = dyn.uop
-            is_branch = uop.is_branch
+            kind = uop.hot_mask
+            is_branch = kind & 1
             if is_branch and dyn.taken and taken_branches >= max_taken:
                 replay.appendleft(dyn)
                 break
@@ -947,10 +1672,30 @@ class Simulator:
                     self._fetch_resume_cycle = cycle + icache_latency
                     break
 
-            # Inlined pool.acquire (kept as the reference implementation).
+            # Inlined pool.acquire + InflightOp._init (both kept as the
+            # reference implementations; the recycle path below must mirror
+            # _init field for field).
             if pool_free:
                 op = pool_arena[pool_free.pop()]
-                op._init(dyn)
+                op.dyn = dyn
+                op.seq = dyn.seq
+                op.pc = dyn.pc
+                op.uop = uop
+                op.wake_gen += 1
+                op.wake_consumers = None
+                op.mem_waiters = None
+                op.avail_cycle = unknown_cycle
+                op.iq_waiters = 0
+                op.prediction = None
+                op.pred_used = False
+                op.early_executed = False
+                op.late_executed = False
+                op.in_issue_queue = False
+                op.issued = False
+                op.executed = False
+                op.squashed = False
+                op.dest_bank = 0
+                op.load_forwarded = False
             else:
                 op = pool.acquire(dyn)
             op.fetch_cycle = cycle
@@ -960,7 +1705,7 @@ class Simulator:
             snapshot = history._snapshot
             op.history_snapshot = snapshot if snapshot is not None else history.snapshot()
 
-            if predictor is not None and uop.vp_eligible:
+            if predictor is not None and kind & 32:  # vp-eligible
                 prediction = predictor.lookup(dyn.pc, history)
                 op.prediction = prediction
                 op.pred_used = prediction is not None and prediction.confident

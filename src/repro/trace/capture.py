@@ -39,9 +39,14 @@ def capture_budget(max_uops: int, minimum: int = 0) -> int:
 def capture_trace(
     program: Program, budget: int, state: ArchState | None = None
 ) -> CapturedTrace:
-    """Emulate ``program`` for up to ``budget`` µ-ops and encode the committed stream."""
+    """Emulate ``program`` for up to ``budget`` µ-ops and encode the committed stream.
+
+    Uses the emulator's batched fast path (:meth:`Emulator.run_batch`, bit-identical
+    to the step-wise reference) — capture is the one place that materialises a whole
+    stream at once.
+    """
     emulator = Emulator(program, state=state)
-    instructions = list(emulator.run(budget))
+    instructions = emulator.run_batch(budget)
     return CapturedTrace.from_instructions(
         program, instructions, halted=emulator.halted, budget=budget
     )

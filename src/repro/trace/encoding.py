@@ -128,7 +128,35 @@ class CapturedTrace:
         halted: bool,
         budget: int,
     ) -> "CapturedTrace":
-        """Encode a committed ``DynInst`` stream into columns."""
+        """Capture a committed ``DynInst`` stream.
+
+        The columnar encoding is built *lazily* (:meth:`_ensure_columns`): an
+        in-process capture already holds the materialised stream, which replay
+        shares directly, so the columns are only needed if the trace is
+        serialised to the on-disk store.
+        """
+        trace = cls.__new__(cls)
+        trace.program = program
+        instructions = tuple(instructions)
+        trace.length = len(instructions)
+        trace.halted = halted
+        trace.budget = budget
+        trace.fingerprint = program_fingerprint(program)
+        trace._pcs = None
+        trace._next_pcs = None
+        trace._taken = None
+        trace._src_offsets = None
+        trace._src_values = None
+        trace._presence = None
+        trace._values = None
+        trace._insts = instructions
+        return trace
+
+    def _ensure_columns(self) -> None:
+        """Build the columnar encoding from the captured stream (serialisation)."""
+        if self._pcs is not None:
+            return
+        instructions = self._insts
         pcs = array("i")
         next_pcs = array("i")
         taken = bytearray()
@@ -136,29 +164,36 @@ class CapturedTrace:
         src_values = array("Q")
         presence = {name: bytearray() for name in _OPTIONAL_FIELDS}
         values = {name: array("Q") for name in _OPTIONAL_FIELDS}
-        instructions = tuple(instructions)
+        # One bound-method tuple per column, hoisted out of the per-µ-op loop.
+        pcs_append = pcs.append
+        next_pcs_append = next_pcs.append
+        taken_append = taken.append
+        src_values_extend = src_values.extend
+        src_offsets_append = src_offsets.append
+        optional = [
+            (name, presence[name].append, values[name].append)
+            for name in _OPTIONAL_FIELDS
+        ]
         for inst in instructions:
-            pcs.append(inst.pc)
-            next_pcs.append(inst.next_pc)
-            taken.append(1 if inst.taken else 0)
-            src_values.extend(inst.src_values)
-            src_offsets.append(len(src_values))
-            for name in _OPTIONAL_FIELDS:
+            pcs_append(inst.pc)
+            next_pcs_append(inst.next_pc)
+            taken_append(1 if inst.taken else 0)
+            src_values_extend(inst.src_values)
+            src_offsets_append(len(src_values))
+            for name, presence_append, values_append in optional:
                 value = getattr(inst, name)
                 if value is None:
-                    presence[name].append(0)
+                    presence_append(0)
                 else:
-                    presence[name].append(1)
-                    values[name].append(value)
-        trace = cls(
-            program, pcs, next_pcs, taken, src_offsets, src_values, presence, values,
-            halted=halted, budget=budget,
-        )
-        # The capture already holds the materialised stream — seed the replay cache so
-        # the first in-process replay does not pay a decode (decoding still happens,
-        # and is tested, for traces loaded from the on-disk store).
-        trace._insts = instructions
-        return trace
+                    presence_append(1)
+                    values_append(value)
+        self._pcs = pcs
+        self._next_pcs = next_pcs
+        self._taken = taken
+        self._src_offsets = src_offsets
+        self._src_values = src_values
+        self._presence = presence
+        self._values = values
 
     # ------------------------------------------------------------------ replay
     def instructions(self) -> tuple[DynInst, ...]:
@@ -222,6 +257,7 @@ class CapturedTrace:
     # ------------------------------------------------------------------ serialisation
     def to_bytes(self) -> bytes:
         """Serialise header + columns into one binary blob (for the on-disk store)."""
+        self._ensure_columns()
         columns: list[bytes] = [
             self._pcs.tobytes(),
             self._next_pcs.tobytes(),

@@ -152,3 +152,20 @@ class ValuePredictor(ABC):
         if prediction is None or not prediction.confident:
             return True
         return prediction.value == actual
+
+    def train_commit_group(
+        self, group: list[tuple[int, int, "VPrediction | None"]]
+    ) -> None:
+        """Outcome-record and train one commit group of ``(pc, actual, prediction)``.
+
+        The pipeline validates correctness itself (a squash decision cannot wait
+        for the whole group) and batches the table updates into one call per
+        commit group; the per-item update order — and hence any deterministic
+        PRNG draw sequence inside the tables — is exactly the per-µ-op order.
+        Subclasses may override to amortise their per-call overhead.
+        """
+        record_outcome = self.stats.record_outcome
+        train = self.train
+        for pc, actual, prediction in group:
+            record_outcome(prediction, actual)
+            train(pc, actual, prediction)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.bpu.history import GlobalHistory
 from repro.vp.base import ValuePredictor, VPrediction
 from repro.vp.confidence import PAPER_FPC_VECTOR
-from repro.vp.stride import TwoDeltaStridePredictor
+from repro.vp.stride import _MASK64, TwoDeltaStridePredictor
 from repro.vp.vtage import VTAGEPredictor
 
 
@@ -89,16 +89,20 @@ class VTAGE2DStrideHybrid(ValuePredictor):
         else:
             chosen, value, confident = "vtage", vtage_value, vtage_confident
 
-        meta = _HybridMeta(
-            vtage_value,
-            vtage_confident,
-            vtage_meta,
-            stride_hit,
-            stride_value,
-            stride_confident,
-            chosen,
+        return VPrediction(
+            value,
+            confident,
+            self.name,
+            _HybridMeta(
+                vtage_value,
+                vtage_confident,
+                vtage_meta,
+                stride_hit,
+                stride_value,
+                stride_confident,
+                chosen,
+            ),
         )
-        return VPrediction(value, confident, self.name, meta=meta)
 
     def train(self, pc: int, actual: int, prediction: VPrediction | None) -> None:
         if prediction is None or prediction.meta is None:
@@ -108,6 +112,104 @@ class VTAGE2DStrideHybrid(ValuePredictor):
         meta: _HybridMeta = prediction.meta
         self.vtage.train_parts(pc, actual, meta.vtage_meta, meta.vtage_value)
         self.stride.train_parts(pc, actual, meta.stride_hit, meta.stride_value)
+
+    def train_commit_group(
+        self, group: list[tuple[int, int, VPrediction | None]]
+    ) -> None:
+        """Per-commit-group training with the wrapper layers flattened.
+
+        One call per commit group replaces the per-µ-op
+        ``validate_and_train -> record_outcome -> train -> train_parts`` chain;
+        the outcome accounting is inlined and the component ``train_parts``
+        methods are called directly, in the same per-item order (FPC draw
+        sequences are unchanged).
+        """
+        stats = self.stats
+        vtage_train = self.vtage.train_parts
+        stride_train = self.stride.train_parts
+        for pc, actual, prediction in group:
+            if prediction is not None:
+                # Inlined PredictorStatistics.record_outcome.
+                if prediction.confident:
+                    if prediction.value == actual:
+                        stats.correct_used += 1
+                    else:
+                        stats.incorrect_used += 1
+                elif prediction.value == actual:
+                    stats.unused_correct += 1
+                meta: _HybridMeta = prediction.meta
+                if meta is not None:
+                    vtage_train(pc, actual, meta.vtage_meta, meta.vtage_value)
+                    stride_train(pc, actual, meta.stride_hit, meta.stride_value)
+                    continue
+            self.vtage.train(pc, actual, None)
+            self.stride.train(pc, actual, None)
+
+    def lookup(self, pc: int, history: GlobalHistory) -> VPrediction | None:
+        """One-call fetch path: both component lookups, arbitration and the
+        lookup accounting fused (bit-identical to ``predict`` + ``record_lookup``,
+        which remain the reference implementations)."""
+        vtage = self.vtage
+        vtage_value, vtage_confident, vtage_meta = vtage.lookup_parts(pc, history)
+        # Inlined TwoDeltaStridePredictor.lookup_parts (kept as the reference).
+        stride = self.stride
+        cached = stride._pc_cache.get(pc)
+        if cached is None:
+            parts = stride.lookup_parts(pc, history)
+        else:
+            index, tag = cached
+            entry = stride._table[index]
+            if entry is None or not entry.valid or entry.tag != tag:
+                parts = None
+            else:
+                predicted = (entry.spec_last + entry.stride2) & _MASK64
+                parts = (predicted, entry.confidence >= stride._saturation)
+                entry.spec_last = predicted
+                if not entry.spec_dirty:
+                    entry.spec_dirty = True
+                    stride._spec_dirty.append(entry)
+                entry.inflight += 1
+        if parts is None:
+            stride_hit = stride_confident = False
+            stride_value = 0
+        else:
+            stride_hit = True
+            stride_value, stride_confident = parts
+
+        if vtage_confident:
+            if vtage_meta.provider >= 0 or not stride_confident:
+                chosen, value, confident = "vtage", vtage_value, True
+            else:
+                chosen, value, confident = "stride", stride_value, True
+        elif stride_confident:
+            chosen, value, confident = "stride", stride_value, True
+        elif vtage_meta.provider >= 0:
+            chosen, value, confident = "vtage", vtage_value, False
+        elif stride_hit:
+            chosen, value, confident = "stride", stride_value, False
+        else:
+            chosen, value, confident = "vtage", vtage_value, False
+
+        stats = self.stats
+        stats.lookups += 1
+        if confident:
+            stats.confident_predictions += 1
+            per_source = stats.per_source
+            per_source[self.name] = per_source.get(self.name, 0) + 1
+        return VPrediction(
+            value,
+            confident,
+            self.name,
+            _HybridMeta(
+                vtage_value,
+                vtage_confident,
+                vtage_meta,
+                stride_hit,
+                stride_value,
+                stride_confident,
+                chosen,
+            ),
+        )
 
     def recover(self) -> None:
         self.vtage.recover()

@@ -33,7 +33,7 @@ class _StrideEntry:
     """One stride-table entry (committed state plus the speculative chain)."""
 
     __slots__ = ("tag", "valid", "last_value", "stride1", "stride2", "confidence",
-                 "spec_last", "inflight")
+                 "spec_last", "inflight", "spec_dirty")
 
     def __init__(self) -> None:
         self.tag = 0
@@ -44,6 +44,9 @@ class _StrideEntry:
         self.confidence = 0
         self.spec_last = 0
         self.inflight = 0
+        # True while the entry sits on the predictor's ``_spec_dirty`` list, so a
+        # chain that drains and restarts between squashes is not appended twice.
+        self.spec_dirty = False
 
 
 class StridePredictor(ValuePredictor):
@@ -80,6 +83,12 @@ class StridePredictor(ValuePredictor):
         # (index, tag) per static PC — pure memoisation of the two hash formulas,
         # consulted twice per eligible µ-op (predict at fetch, train at commit).
         self._pc_cache: dict[int, tuple[int, int]] = {}
+        # Entries whose speculative chain may have advanced past the committed
+        # value since the last squash: exactly the entries :meth:`recover` must
+        # repair.  Appended when ``inflight`` leaves zero, so recovery walks the
+        # handful of live chains instead of the whole table.
+        self._spec_dirty: list[_StrideEntry] = []
+        self._saturation = self._policy.saturation
 
     # ------------------------------------------------------------------ indexing
     def _index(self, pc: int) -> int:
@@ -103,14 +112,21 @@ class StridePredictor(ValuePredictor):
         chain exactly like :meth:`predict`), ``None`` on a miss.  Used by the hybrid,
         which wraps the arbitration winner once.
         """
-        index, tag = self._index_and_tag(pc)
+        cached = self._pc_cache.get(pc)
+        if cached is None:
+            cached = (_mix_pc(pc) & self._index_mask, pc & self._tag_mask)
+            self._pc_cache[pc] = cached
+        index, tag = cached
         entry = self._table[index]
         if entry is None or not entry.valid or entry.tag != tag:
             return None
         predicted = (entry.spec_last + entry.stride2) & _MASK64
-        confident = entry.confidence >= self._policy.saturation
+        confident = entry.confidence >= self._saturation
         # Advance the speculative chain so back-to-back instances predict correctly.
         entry.spec_last = predicted
+        if not entry.spec_dirty:
+            entry.spec_dirty = True
+            self._spec_dirty.append(entry)
         entry.inflight += 1
         return predicted, confident
 
@@ -131,7 +147,11 @@ class StridePredictor(ValuePredictor):
     ) -> None:
         """:meth:`train` taking the prediction flattened to ``(hit, value)``."""
         actual &= _MASK64
-        index, tag = self._index_and_tag(pc)
+        cached = self._pc_cache.get(pc)
+        if cached is None:
+            cached = (_mix_pc(pc) & self._index_mask, pc & self._tag_mask)
+            self._pc_cache[pc] = cached
+        index, tag = cached
         entry = self._table[index]
         if entry is not None and entry.valid and entry.tag == tag:
             delta = (actual - entry.last_value) & _MASK64
@@ -141,7 +161,7 @@ class StridePredictor(ValuePredictor):
             else:
                 correct = predicted_from_committed == actual
             if correct:
-                if entry.confidence < self._policy.saturation and self._policy.allows_increment(
+                if entry.confidence < self._saturation and self._policy.allows_increment(
                     entry.confidence
                 ):
                     entry.confidence += 1
@@ -180,11 +200,22 @@ class StridePredictor(ValuePredictor):
             entry.inflight = 0
 
     def recover(self) -> None:
-        """Collapse every speculative chain back onto the committed last value."""
-        for entry in self._table:
-            if entry is not None and entry.inflight:
+        """Collapse every speculative chain back onto the committed last value.
+
+        Walks only the entries whose chain advanced since the last squash
+        (``_spec_dirty``), not the whole table; entries whose in-flight count
+        already drained back to zero are skipped, exactly like the full-table
+        reference walk would.
+        """
+        dirty = self._spec_dirty
+        if not dirty:
+            return
+        for entry in dirty:
+            entry.spec_dirty = False
+            if entry.inflight:
                 entry.inflight = 0
                 entry.spec_last = entry.last_value
+        dirty.clear()
 
     def storage_bits(self) -> int:
         per_entry = self.tag_bits + self.value_bits + self.stride_bits + 3 + 1

@@ -126,6 +126,11 @@ class VTAGEPredictor(ValuePredictor):
         self._pc_mix_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...], int]] = {}
         self._fold_widths = [self._index_width] * num_components + self._tag_widths
         self._fold_registers: FoldedRegisterFile | None = None
+        #: Longest-history-first probe order: the provider is the longest match,
+        #: so the descending walk can stop at the first hit (identical outcome to
+        #: the ascending keep-the-last-match walk, fewer probes on hits).
+        self._ranks_desc = tuple(range(num_components - 1, -1, -1))
+        self._saturation = self._policy.saturation
         # Base component (tagless last-value table).
         self._base_values = [0] * base_entries
         self._base_confidence = [0] * base_entries
@@ -193,8 +198,17 @@ class VTAGEPredictor(ValuePredictor):
         Returns ``(value, confident, meta)``; used by the hybrid, which wraps the
         arbitration winner once per lookup.
         """
-        index_mixes, tag_mixes, base_index = self._pc_mixes(pc)
-        folds = self._folds(history)
+        cached = self._pc_mix_cache.get(pc)
+        if cached is None:
+            cached = self._pc_mixes(pc)
+        index_mixes, tag_mixes, base_index = cached
+        registers = self._fold_registers
+        if registers is None or registers.history is not history:
+            registers = history.folded_registers(
+                self.history_lengths + self.history_lengths, self._fold_widths
+            )
+            self._fold_registers = registers
+        folds = registers.folds
         num_components = self.num_components
         tagged_mask = self._tagged_mask
         tag_masks = self._tag_masks
@@ -204,8 +218,9 @@ class VTAGEPredictor(ValuePredictor):
         provider_index = 0
         provider_tag = 0
         provider_entry: _TaggedEntry | None = None
-        for rank in range(num_components):
-            # Empty components cannot hit; the hash is skipped entirely (allocation
+        for rank in self._ranks_desc:
+            # Longest history first: the first hit *is* the provider.  Empty
+            # components cannot hit; the hash is skipped entirely (allocation
             # re-derives it from the meta's fold snapshot when needed).  Tags are
             # only hashed for slots that actually hold an entry.
             if not sizes[rank]:
@@ -219,19 +234,19 @@ class VTAGEPredictor(ValuePredictor):
                     provider_index = index
                     provider_tag = tag
                     provider_entry = entry
+                    break
         meta = _VTAGEMeta(
             pc,
-            self._fold_registers.folds_tuple(),
+            registers.folds_tuple(),
             provider,
             provider_index,
             provider_tag,
             base_index,
         )
         if provider_entry is not None:
-            confident = provider_entry.confidence >= self._policy.saturation
-            return provider_entry.value, confident, meta
+            return provider_entry.value, provider_entry.confidence >= self._saturation, meta
         if self._base_valid[base_index]:
-            confident = self._base_confidence[base_index] >= self._policy.saturation
+            confident = self._base_confidence[base_index] >= self._saturation
             return self._base_values[base_index], confident, meta
         return 0, False, meta
 
@@ -242,12 +257,14 @@ class VTAGEPredictor(ValuePredictor):
         return current
 
     def _train_base(self, base_index: int, actual: int) -> None:
-        if self._base_valid[base_index] and self._base_values[base_index] == actual:
-            self._base_confidence[base_index] = self._bump_confidence(
-                self._base_confidence[base_index]
-            )
-        elif self._base_valid[base_index]:
-            if self._base_confidence[base_index] == 0:
+        if self._base_valid[base_index]:
+            if self._base_values[base_index] == actual:
+                confidence = self._base_confidence[base_index]
+                if confidence < self._saturation and self._policy.allows_increment(
+                    confidence
+                ):
+                    self._base_confidence[base_index] = confidence + 1
+            elif self._base_confidence[base_index] == 0:
                 self._base_values[base_index] = actual
             else:
                 self._base_confidence[base_index] = 0
@@ -281,18 +298,22 @@ class VTAGEPredictor(ValuePredictor):
         components = self._components
         # One fused probe pass over the longer-history components only, re-deriving
         # each index from the meta's fold snapshot (identical to the lookup's).
-        # Only the first two candidates matter (the tie-break picks between them).
+        # Only the first two candidates matter (the tie-break picks between them,
+        # and the aging path needs only "were there any"), so the probe stops at
+        # the second hit.
         candidate_count = 0
         first = second = None
         for rank in range(start, num_components):
             index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
             entry = components[rank][index]
             if entry is None or not entry.valid or entry.useful == 0:
-                candidate_count += 1
-                if candidate_count == 1:
+                if candidate_count == 0:
+                    candidate_count = 1
                     first = (rank, index, entry)
-                elif candidate_count == 2:
+                else:
+                    candidate_count = 2
                     second = (rank, index, entry)
+                    break
         if not candidate_count:
             # Age the useful bits of all longer-history victims, TAGE-style
             # (rare path: re-probe the same indices).
@@ -327,14 +348,24 @@ class VTAGEPredictor(ValuePredictor):
     def train_parts(
         self, pc: int, actual: int, meta: _VTAGEMeta, predicted_value: int
     ) -> None:
-        """:meth:`train` taking the lookup flattened to ``(meta, value)``."""
+        """:meth:`train` taking the lookup flattened to ``(meta, value)``.
+
+        The confidence bump (:meth:`_bump_confidence`, kept as the reference) is
+        inlined on the dominant correct-provider path.
+        """
         actual &= _MASK64
         if meta.provider >= 0:
             entry = self._components[meta.provider][meta.provider_index]
             if entry is not None and entry.valid and entry.tag == meta.provider_tag:
                 if entry.value == actual:
-                    entry.confidence = self._bump_confidence(entry.confidence)
-                    if entry.confidence >= self._policy.saturation:
+                    confidence = entry.confidence
+                    saturation = self._saturation
+                    if confidence < saturation and self._policy.allows_increment(
+                        confidence
+                    ):
+                        confidence += 1
+                        entry.confidence = confidence
+                    if confidence >= saturation:
                         entry.useful = 1
                 else:
                     if entry.confidence == 0:

@@ -1,0 +1,61 @@
+"""The throughput harness's append-only speedup ladder (BENCH_throughput.json)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "throughput_harness", REPO_ROOT / "benchmarks" / "perf" / "throughput.py"
+)
+throughput = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(throughput)
+
+
+def _legacy_report() -> dict:
+    return {
+        "label": "PR3 entry",
+        "grid": {"seconds": 2.28, "cells": 16},
+        "single_cell": {"seconds": 0.169, "config": "EOLE_4_64", "workload": "gcc"},
+        "grid_speedup": 1.34,
+        "baseline": {
+            "label": "PR2 entry",
+            "grid": {"seconds": 3.05, "cells": 16},
+            "single_cell": {"seconds": 0.215, "config": "EOLE_4_64", "workload": "gcc"},
+        },
+    }
+
+
+class TestLadder:
+    def test_migrates_legacy_single_report_with_embedded_baseline(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_legacy_report()))
+        entries = throughput.load_ladder(path)
+        assert [entry["label"] for entry in entries] == ["PR2 entry", "PR3 entry"]
+        assert entries[0]["grid"]["seconds"] == 3.05
+        assert entries[1]["grid_speedup"] == 1.34
+
+    def test_ladder_roundtrip_is_append_only(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_legacy_report()))
+        entries = throughput.load_ladder(path)
+        entries.append({"label": "new rung", "grid": {"seconds": 1.5},
+                        "single_cell": {"seconds": 0.1}})
+        throughput.write_ladder(path, entries)
+        data = json.loads(path.read_text())
+        assert data["format"] == throughput.LADDER_FORMAT
+        reloaded = throughput.load_ladder(path)
+        assert [entry["label"] for entry in reloaded] == [
+            "PR2 entry", "PR3 entry", "new rung",
+        ]
+
+    def test_missing_file_is_an_empty_ladder(self, tmp_path):
+        assert throughput.load_ladder(tmp_path / "absent.json") == []
+
+    def test_committed_ladder_file_is_loadable(self):
+        entries = throughput.load_ladder(REPO_ROOT / "BENCH_throughput.json")
+        assert entries, "BENCH_throughput.json must hold at least one rung"
+        for entry in entries:
+            assert "grid" in entry and "seconds" in entry["grid"]
+            assert "single_cell" in entry

@@ -222,3 +222,55 @@ class TestRunControl:
         for inst in trace:
             if inst.result is not None:
                 assert 0 <= inst.result <= MASK64
+
+
+class TestRunBatch:
+    """The batched capture fast path must be bit-identical to step()."""
+
+    @staticmethod
+    def _records(insts):
+        return [
+            (
+                i.seq, i.pc, i.uop, i.src_values, i.result, i.flags_result,
+                i.flags_in, i.addr, i.store_value, i.taken, i.next_pc,
+            )
+            for i in insts
+        ]
+
+    def _assert_equivalent(self, program, state_a, state_b, budget):
+        reference = Emulator(program, state=state_a)
+        batched = Emulator(program, state=state_b)
+        expected = list(reference.run(budget))
+        got = batched.run_batch(budget)
+        assert self._records(got) == self._records(expected)
+        assert batched.halted == reference.halted
+        assert batched.pc == reference.pc
+        assert batched.seq == reference.seq
+        assert batched.state.regs == reference.state.regs
+        assert batched.state.memory == reference.state.memory
+
+    def test_matches_step_on_every_suite_workload(self):
+        from repro.workloads.suite import SUITE_ORDER, workload
+
+        for name in SUITE_ORDER:
+            wl = workload(name)
+            self._assert_equivalent(wl.program, wl.make_state(), wl.make_state(), 3000)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_matches_step_on_random_programs(self, seed):
+        program = RandomProgramGenerator(seed).generate(body_ops=20)
+        self._assert_equivalent(program, None, None, 400)
+
+    def test_resumes_after_partial_batch(self):
+        b = ProgramBuilder()
+        b.movi("r1", 0)
+        b.label("loop")
+        b.addi("r1", "r1", 1)
+        b.jmp("loop")
+        program = b.build()
+        reference = Emulator(program)
+        expected = list(reference.run(50))
+        split = Emulator(program)
+        got = split.run_batch(20) + split.run_batch(30)
+        assert self._records(got) == self._records(expected)

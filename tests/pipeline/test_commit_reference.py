@@ -1,0 +1,81 @@
+"""The fused commit fast path vs the kept reference methods.
+
+``Simulator._commit`` inlines :meth:`Simulator._retire` and
+:meth:`Simulator._validate_and_train` and batches commit-side predictor
+training.  Those two methods are kept as the reference implementations; this
+test enforces the "kept in sync" contract by reconstructing the pre-fusion
+commit loop from them and comparing whole-run results — so a drift in either
+copy (or an unsound training deferral) shows up as a result mismatch instead
+of silently rotting.
+"""
+
+import pytest
+
+from repro.pipeline.config import named_config
+from repro.pipeline.simulator import Simulator
+from repro.workloads.suite import workload
+
+MAX_UOPS, WARMUP = 2000, 400
+
+
+class _ReferenceCommitSimulator(Simulator):
+    """The pre-fusion commit loop, composed from the reference methods."""
+
+    def _commit(self) -> None:
+        committed = 0
+        late_alus_used = 0
+        cycle = self.cycle
+        commit_extra = self._commit_extra
+        late_alu_limit = self.late_block.config.alus
+        rob_entries = self.rob._entries
+        while committed < self.config.commit_width:
+            if not rob_entries:
+                break
+            op = rob_entries[0]
+            if not op.executed:
+                break
+            if cycle < op.complete_cycle + commit_extra:
+                break
+            if op.late_executed and late_alus_used >= late_alu_limit:
+                self.stats.late_alu_stalls += 1
+                break
+            if self._levt_ports_limited:
+                banks = self.late_block.levt_read_banks(op)
+                if not self.prf.try_levt_reads(banks, cycle):
+                    self.stats.levt_port_stalls += 1
+                    break
+            rob_entries.popleft()
+            op.commit_cycle = cycle
+            committed += 1
+            if op.late_executed:
+                late_alus_used += 1
+            self._retire(op)
+            if self._finished:
+                return
+            if self._validate_and_train(op):
+                break
+
+
+def _run(simulator_cls, config_name, workload_name):
+    config = named_config(config_name)
+    wl = workload(workload_name)
+    simulator = simulator_cls(
+        config,
+        wl.program,
+        max_uops=MAX_UOPS,
+        warmup_uops=WARMUP,
+        arch_state=wl.make_state(),
+        workload_name=wl.name,
+    )
+    return simulator.run()
+
+
+@pytest.mark.parametrize(
+    "config_name",
+    ["Baseline_6_64", "Baseline_VP_6_64", "EOLE_4_64", "EOLE_4_64_4ports_4banks"],
+)
+@pytest.mark.parametrize("workload_name", ["gcc", "milc", "mcf"])
+def test_fused_commit_matches_reference_methods(config_name, workload_name):
+    fused = _run(Simulator, config_name, workload_name)
+    reference = _run(_ReferenceCommitSimulator, config_name, workload_name)
+    assert fused.to_dict() == reference.to_dict()

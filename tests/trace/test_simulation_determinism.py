@@ -1,6 +1,6 @@
 """Bit-identity of simulation results across execution strategies.
 
-Two hard invariants are enforced here:
+Three hard invariants are enforced here:
 
 * **trace subsystem** — every ``SimulationResult`` must be *byte identical* whether
   the simulator emulates inline (``REPRO_TRACE_CACHE=0``), replays a shared
@@ -8,7 +8,10 @@ Two hard invariants are enforced here:
 * **event-driven scheduler** — the cycle-skipping event wheel
   (``REPRO_EVENT_DRIVEN``, default on) must produce results byte-identical to the
   retained cycle-stepping reference loop (``REPRO_EVENT_DRIVEN=0``) across the full
-  4-configuration × 4-workload grid the throughput harness measures.
+  4-configuration × 4-workload grid the throughput harness measures;
+* **dependency-driven wake-up** — the consumer-list issue-queue
+  (``REPRO_WAKEUP_LISTS``, default on) must produce results byte-identical to the
+  scan-based reference IQ (``REPRO_WAKEUP_LISTS=0``) across the same full grid.
 """
 
 import json
@@ -17,6 +20,7 @@ import pytest
 
 from repro.campaign.executor import simulate_cell
 from repro.campaign.spec import CampaignCell
+from repro.ooo.issue_queue import WAKEUP_ENV_VAR
 from repro.pipeline.config import named_config
 from repro.pipeline.simulator import EVENT_DRIVEN_ENV_VAR
 from repro.trace.cache import TRACE_CACHE_ENV_VAR, shared_trace_cache
@@ -142,6 +146,56 @@ def test_event_driven_grid_is_byte_identical_to_cycle_stepping(monkeypatch):
     event = _event_grid_dicts(monkeypatch, event_driven=True)
     stepped = _event_grid_dicts(monkeypatch, event_driven=False)
     assert json.dumps(event, sort_keys=True) == json.dumps(stepped, sort_keys=True)
+
+
+def _wakeup_grid_dicts(monkeypatch, *, wakeup: bool) -> dict[str, dict]:
+    if wakeup:
+        monkeypatch.delenv(WAKEUP_ENV_VAR, raising=False)
+    else:
+        monkeypatch.setenv(WAKEUP_ENV_VAR, "0")
+    out = {}
+    for config_name in EVENT_GRID_CONFIGS:
+        for workload_name in EVENT_GRID_WORKLOADS:
+            cell = CampaignCell(
+                config=named_config(config_name),
+                workload_name=workload_name,
+                max_uops=MAX_UOPS,
+                warmup_uops=WARMUP_UOPS,
+            )
+            out[cell.describe()] = simulate_cell(cell).to_dict()
+    return out
+
+
+def test_wakeup_lists_grid_is_byte_identical_to_scan_reference(monkeypatch):
+    """The dependency-driven wake-up IQ is invisible across the full 4 × 4 grid.
+
+    Selection order, issue cycles, functional-unit interactions, squash/replay
+    recovery and every derived statistic must match the scan-based reference
+    (``REPRO_WAKEUP_LISTS=0``) exactly.
+    """
+    monkeypatch.delenv(TRACE_STORE_ENV_VAR, raising=False)
+    wake = _wakeup_grid_dicts(monkeypatch, wakeup=True)
+    scan = _wakeup_grid_dicts(monkeypatch, wakeup=False)
+    assert json.dumps(wake, sort_keys=True) == json.dumps(scan, sort_keys=True)
+
+
+def test_wakeup_lists_off_under_cycle_stepping_matches_default(monkeypatch):
+    """Both kill-switches together (scan IQ + stepping loop) still agree with the
+    default fast paths — the four execution strategies form one equivalence class."""
+    monkeypatch.delenv(TRACE_STORE_ENV_VAR, raising=False)
+    cell = CampaignCell(
+        config=named_config("EOLE_4_64"),
+        workload_name="gcc",
+        max_uops=MAX_UOPS,
+        warmup_uops=WARMUP_UOPS,
+    )
+    monkeypatch.delenv(WAKEUP_ENV_VAR, raising=False)
+    monkeypatch.delenv(EVENT_DRIVEN_ENV_VAR, raising=False)
+    fast = simulate_cell(cell).to_dict()
+    monkeypatch.setenv(WAKEUP_ENV_VAR, "0")
+    monkeypatch.setenv(EVENT_DRIVEN_ENV_VAR, "0")
+    reference = simulate_cell(cell).to_dict()
+    assert fast == reference
 
 
 @pytest.fixture(autouse=True)
