@@ -99,6 +99,26 @@ def persistent_result_store():
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def trace_cache_summary():
+    """Report shared trace-cache effectiveness at the end of the benchmark session.
+
+    Every figure grid replays workload traces from :data:`shared_trace_cache`; the
+    capture/hit split shows how much architectural emulation the cache avoided
+    (high hit counts are why repeated figures are cheap).
+    """
+    from repro.trace.cache import shared_trace_cache
+
+    yield
+    captures = shared_trace_cache.captures
+    hits = shared_trace_cache.hits + shared_trace_cache.store_hits
+    if captures or hits:
+        print(
+            f"\n[repro] shared trace cache: {captures} captures, {hits} hits "
+            f"({shared_trace_cache.store_hits} from the persistent trace store)"
+        )
+
+
 def record_result(result: ExperimentResult) -> str:
     """Render, persist and return the table of an experiment result."""
     table = format_table(result)

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -124,6 +126,42 @@ def measure_grid(max_uops: int, warmup_uops: int, repeat: int) -> dict:
 LADDER_FORMAT = "speedup-ladder/1"
 
 
+def _git_sha() -> str | None:
+    """The current commit SHA, or None outside a git checkout / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _host_info() -> dict:
+    """Stable host identity for attributing ladder rungs across machines."""
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def _parse_meta(pairs: list[str]) -> dict:
+    """``--meta key=val`` pairs → dict (rejecting malformed arguments)."""
+    meta: dict[str, str] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--meta expects key=val, got {pair!r}")
+        meta[key] = value
+    return meta
+
+
 def migrate_legacy_report(report: dict) -> list[dict]:
     """Turn a pre-ladder single-report file into ladder entries (oldest first)."""
     entries: list[dict] = []
@@ -195,17 +233,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--method", default=None, help="free-form measurement notes")
     parser.add_argument("--label", default=None, help="free-form label for the run")
+    parser.add_argument(
+        "--meta", action="append", default=[], metavar="KEY=VAL",
+        help="attach arbitrary key=val metadata to the entry (repeatable)",
+    )
     args = parser.parse_args(argv)
+    meta = _parse_meta(args.meta)
 
     entry = {
         "label": args.label,
         "recorded_unix": time.time(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "git_sha": _git_sha(),
+        "host": _host_info(),
         "trace_cache_available": shared_trace_cache is not None,
         "single_cell": measure_single_cell(args.max_uops, args.warmup_uops, args.repeat),
         "grid": measure_grid(args.max_uops, args.warmup_uops, args.repeat),
     }
+    if meta:
+        entry["meta"] = meta
     if args.method:
         entry["method"] = args.method
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import os
 import pstats
 import sys
@@ -106,6 +107,21 @@ class StageTimedSimulator(Simulator):
         lines.append(f"  {'total':12s} {total:8.4f}s")
         return "\n".join(lines)
 
+    def report_dict(self) -> dict:
+        """The ``report()`` breakdown as a machine-readable dict (``--format=json``)."""
+        total = sum(self.stage_seconds.values())
+        return {
+            "stages": {
+                stage: {
+                    "seconds": self.stage_seconds[stage],
+                    "calls": self.stage_calls[stage],
+                    "share": self.stage_seconds[stage] / total if total else 0.0,
+                }
+                for stage in self.STAGES
+            },
+            "total_seconds": total,
+        }
+
 #: Every pstats sort key (plus the classic abbreviations pstats also accepts), so
 #: profiles can be sliced any way pstats supports.
 SORT_KEYS = sorted(
@@ -138,8 +154,15 @@ def main(argv: list[str] | None = None) -> int:
         help="print a per-stage cumulative timing breakdown "
         "(fetch/dispatch/issue/commit/train) instead of a cProfile report",
     )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format for --stage-times (json emits a machine-readable "
+        "breakdown suitable for regression dashboards)",
+    )
     parser.add_argument("--dump", default=None, help="write raw pstats to this file")
     args = parser.parse_args(argv)
+    if args.format == "json" and not args.stage_times:
+        parser.error("--format=json requires --stage-times")
     os.environ[EVENT_DRIVEN_ENV_VAR] = "0" if args.mode == "step" else "1"
 
     config = named_config(args.config)
@@ -161,8 +184,20 @@ def main(argv: list[str] | None = None) -> int:
             trace=trace,
         )
         result = simulator.run()
-        print(simulator.report())
-        print(result.summary())
+        if args.format == "json":
+            payload = {
+                "config": args.config,
+                "workload": args.workload,
+                "max_uops": args.max_uops,
+                "warmup_uops": args.warmup_uops,
+                "mode": args.mode,
+                "ipc": result.ipc,
+                **simulator.report_dict(),
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(simulator.report())
+            print(result.summary())
         return 0
 
     profiler = cProfile.Profile()

@@ -1,8 +1,8 @@
 """Setuptools entry point.
 
 ``pip install -e .`` makes the ``repro`` package importable without ``PYTHONPATH=src``
-and installs the ``repro-campaign`` console script (the same CLI as
-``python -m repro.campaign``).
+and installs the ``repro-campaign`` and ``repro-obs`` console scripts (the same CLIs
+as ``python -m repro.campaign`` / ``python -m repro.obs``).
 """
 
 from setuptools import find_packages, setup
@@ -20,6 +20,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-campaign = repro.campaign.cli:main",
+            "repro-obs = repro.obs.cli:main",
         ]
     },
 )

@@ -128,9 +128,11 @@ def run_workload(
     from repro.campaign.progress import ProgressReporter
 
     reporter = ProgressReporter(total=1, enabled=True, label=cell.describe())
+    reporter.cell_started(cell)
     started = time.perf_counter()
     result, reused = _run_workload_cell(cell, workload, cache, store, trace)
     reporter.cell_done(cell, time.perf_counter() - started, reused=reused)
+    reporter.finish()
     return result
 
 

@@ -4,7 +4,8 @@ Four subcommands::
 
     run      simulate a (configs × workloads) grid, persisting results to a store
     status   report done/missing cells for a grid against a store (no simulation)
-    report   tabulate stored results (IPC by default, speedups with --baseline;
+    report   tabulate stored results (IPC by default, speedups with --baseline,
+             per-cell execution telemetry with --metrics;
              --format json|csv for downstream plotting)
     compact  rewrite the store dropping superseded/corrupt rows (optionally capped
              with --max-mb, evicting oldest rows; REPRO_RESULT_STORE_MAX_MB applies
@@ -126,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="output format: human table (default), or json/csv for downstream plotting",
     )
+    report_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="report per-cell execution telemetry (wall-clock, µops/s, trace-cache "
+        "hits) instead of IPCs",
+    )
     return parser
 
 
@@ -209,12 +216,84 @@ def _report_values(
     return values
 
 
+def _metrics_rows(records: list[dict]) -> list[dict]:
+    """Per-cell telemetry rows for ``report --metrics`` (missing telemetry → None)."""
+    rows: list[dict] = []
+    for record in records:
+        stats = SimStats.from_dict(record["result"]["stats"])
+        telemetry = record.get("telemetry") or {}
+        trace_cache = telemetry.get("trace_cache") or {}
+        hits = trace_cache.get("hits")
+        store_hits = trace_cache.get("store_hits")
+        rows.append(
+            {
+                "config": record["config"],
+                "workload": record["workload"],
+                "ipc": stats.ipc,
+                "wall_seconds": telemetry.get("wall_seconds"),
+                "uops_per_second": telemetry.get("uops_per_second"),
+                "trace_captures": trace_cache.get("captures"),
+                "trace_hits": (
+                    hits + store_hits if hits is not None and store_hits is not None else None
+                ),
+            }
+        )
+    return rows
+
+
+def _cmd_report_metrics(args: argparse.Namespace, store: ResultStore, records) -> int:
+    rows = _metrics_rows(records)
+    output_format = getattr(args, "format", "table")
+    if output_format == "json":
+        print(json.dumps({"store": str(store.path), "cells": rows}, indent=1, sort_keys=True))
+        return 0
+    columns = (
+        "config",
+        "workload",
+        "ipc",
+        "wall_seconds",
+        "uops_per_second",
+        "trace_captures",
+        "trace_hits",
+    )
+    if output_format == "csv":
+        writer = csv.writer(sys.stdout)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow(["" if row[c] is None else row[c] for c in columns])
+        return 0
+
+    def fmt(row: dict, column: str) -> str:
+        value = row[column]
+        if value is None:
+            return "—"
+        if column == "ipc":
+            return f"{value:.3f}"
+        if column == "wall_seconds":
+            return f"{value:.2f}"
+        if column == "uops_per_second":
+            return f"{value:,.0f}"
+        return str(value)
+
+    widths = {
+        c: max(len(c), *(len(fmt(row, c)) for row in rows)) if rows else len(c)
+        for c in columns
+    }
+    print(f"store {store.path}: per-cell execution telemetry")
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(fmt(row, c).ljust(widths[c]) for c in columns))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     records = store.records()
     if not records:
         print(f"store {store.path} is empty", file=sys.stderr)
         return 1
+    if getattr(args, "metrics", False):
+        return _cmd_report_metrics(args, store, records)
     ipcs: dict[str, dict[str, float]] = {}
     workload_names: dict[str, None] = {}
     for record in records:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import Campaign, CampaignCell
 from repro.campaign.store import ResultStore, default_store
+from repro.obs.telemetry import TraceCacheSnapshot, cell_telemetry
 from repro.pipeline.simulator import Simulator
 from repro.pipeline.stats import SimulationResult
 from repro.trace.cache import shared_trace_cache, trace_cache_enabled
@@ -79,18 +80,23 @@ def simulate_cell(
     return simulator.run()
 
 
-def _pool_worker(cells: list[CampaignCell]) -> list[tuple[str, dict, float]]:
+def _pool_worker(cells: list[CampaignCell]) -> list[tuple[str, dict, float, dict]]:
     """Process-pool entry point: simulate a batch of same-workload cells.
 
     Cells are batched by workload (see :func:`_workload_batches`) so that each worker
     captures the architectural trace once per workload and replays it for every
-    configuration in the batch.
+    configuration in the batch.  Each cell ships back with its telemetry row
+    (wall-clock, µops/s, trace-cache deltas) for the result store.
     """
-    out: list[tuple[str, dict, float]] = []
+    out: list[tuple[str, dict, float, dict]] = []
     for cell in cells:
+        snapshot = TraceCacheSnapshot()
         started = time.monotonic()
         result = simulate_cell(cell)
-        out.append((cell.fingerprint, result.to_dict(), time.monotonic() - started))
+        seconds = time.monotonic() - started
+        out.append(
+            (cell.fingerprint, result.to_dict(), seconds, cell_telemetry(result, seconds, snapshot))
+        )
     return out
 
 
@@ -159,11 +165,16 @@ def run_campaign(
             continue
         pending.append(cell)
 
-    def complete(cell: CampaignCell, result: SimulationResult, seconds: float) -> None:
+    def complete(
+        cell: CampaignCell,
+        result: SimulationResult,
+        seconds: float,
+        telemetry: dict | None = None,
+    ) -> None:
         outcome.results[(cell.config.name, cell.workload_name)] = result
         outcome.simulated += 1
         if store is not None:
-            store.put(cell, result)
+            store.put(cell, result, telemetry)
         if cache is not None:
             cache.put(cell.key, result)
         reporter.cell_done(cell, seconds, reused=False)
@@ -171,9 +182,12 @@ def run_campaign(
     if pending:
         if workers <= 1 or len(pending) == 1:
             for cell in pending:
+                reporter.cell_started(cell)
+                snapshot = TraceCacheSnapshot()
                 cell_started = time.monotonic()
                 result = simulate_cell(cell)
-                complete(cell, result, time.monotonic() - cell_started)
+                seconds = time.monotonic() - cell_started
+                complete(cell, result, seconds, cell_telemetry(result, seconds, snapshot))
         else:
             _run_sharded(pending, workers, complete)
 
@@ -215,9 +229,11 @@ def _run_sharded(pending, workers: int, complete) -> None:
         while futures:
             finished, futures = wait(futures, return_when=FIRST_COMPLETED)
             for future in finished:
-                for fingerprint, result_dict, seconds in future.result():
+                for fingerprint, result_dict, seconds, telemetry in future.result():
                     cell = by_fingerprint[fingerprint]
-                    complete(cell, SimulationResult.from_dict(result_dict), seconds)
+                    complete(
+                        cell, SimulationResult.from_dict(result_dict), seconds, telemetry
+                    )
 
 
 def campaign_status(campaign: Campaign, store: ResultStore | None) -> dict:

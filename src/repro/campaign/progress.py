@@ -4,15 +4,27 @@ The reporter distinguishes *simulated* cells from *reused* ones (in-memory cache
 persistent store hits): the ETA extrapolates from the mean wall-clock of simulated
 cells only, so a resumed campaign that fast-forwards through stored results does not
 report an absurdly optimistic finish time for the remaining real work.
+
+Besides the human progress lines (``enabled=True``), the reporter can append a
+*structured heartbeat log* — one JSON object per event (``cell_started``,
+``cell_done``, ``finish``) — to the path given by ``heartbeat_path`` or the
+``REPRO_HEARTBEAT_LOG`` environment variable.  The heartbeat is written regardless
+of ``enabled`` and swallows I/O errors: telemetry must never take a campaign down.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
+from pathlib import Path
 from typing import TextIO
 
 from repro.campaign.spec import CampaignCell
+
+#: Environment variable: path of the structured JSONL heartbeat log (optional).
+HEARTBEAT_ENV_VAR = "REPRO_HEARTBEAT_LOG"
 
 
 def format_duration(seconds: float) -> str:
@@ -38,6 +50,7 @@ class ProgressReporter:
         stream: TextIO | None = None,
         label: str = "campaign",
         workers: int = 1,
+        heartbeat_path: str | None = None,
     ) -> None:
         self.total = total
         self.enabled = enabled
@@ -49,8 +62,23 @@ class ProgressReporter:
         self.reused = 0
         self._started = time.monotonic()
         self._simulated_seconds = 0.0
+        if heartbeat_path is None:
+            heartbeat_path = os.environ.get(HEARTBEAT_ENV_VAR) or None
+        self._heartbeat_path = Path(heartbeat_path) if heartbeat_path else None
 
     # ------------------------------------------------------------------ events
+    def cell_started(self, cell: CampaignCell) -> None:
+        """Announce one cell entering simulation (serial path / single-cell runs)."""
+        self._heartbeat("cell_started", cell=cell.describe())
+        if not self.enabled:
+            return
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        eta = format_duration(self.eta) if self.simulated else "unknown"
+        self._emit(
+            f"{self.done}/{self.total} ({percent:3.0f}%) {cell.describe()} running"
+            f" — elapsed {format_duration(self.elapsed)}, ETA {eta}"
+        )
+
     def cell_done(self, cell: CampaignCell, seconds: float, reused: bool) -> None:
         """Record one finished cell (``reused`` = served from cache/store)."""
         self.done += 1
@@ -59,6 +87,7 @@ class ProgressReporter:
         else:
             self.simulated += 1
             self._simulated_seconds += seconds
+        self._heartbeat("cell_done", cell=cell.describe(), seconds=seconds, reused=reused)
         if not self.enabled:
             return
         source = "reused" if reused else f"simulated in {format_duration(seconds)}"
@@ -70,11 +99,17 @@ class ProgressReporter:
 
     def finish(self) -> None:
         """Print the closing summary line."""
+        self._heartbeat("finish", utilization=self.utilization)
         if not self.enabled:
             return
+        workers_note = (
+            f" ({self.workers} workers, {self.utilization:.0%} utilisation)"
+            if self.workers > 1
+            else ""
+        )
         self._emit(
             f"done: {self.simulated} simulated, {self.reused} reused, "
-            f"{self.total} cells in {format_duration(self.elapsed)}"
+            f"{self.total} cells in {format_duration(self.elapsed)}" + workers_note
         )
 
     # ------------------------------------------------------------------ derived
@@ -97,5 +132,43 @@ class ProgressReporter:
         mean = self._simulated_seconds / self.simulated
         return remaining * mean / min(self.workers, remaining)
 
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool's wall-clock spent simulating (≤ 1.0).
+
+        Per-cell durations accumulate concurrently under sharding, so the pool's
+        available time is ``elapsed × workers``; reused cells contribute nothing.
+        """
+        available = self.elapsed * self.workers
+        if available <= 0:
+            return 0.0
+        return min(1.0, self._simulated_seconds / available)
+
     def _emit(self, message: str) -> None:
         print(f"[{self.label}] {message}", file=self.stream, flush=True)
+
+    def _heartbeat(self, event: str, **extra) -> None:
+        """Append one structured event row to the heartbeat log (best effort)."""
+        path = self._heartbeat_path
+        if path is None:
+            return
+        row = {
+            "unix_time": time.time(),
+            "event": event,
+            "label": self.label,
+            "done": self.done,
+            "total": self.total,
+            "simulated": self.simulated,
+            "reused": self.reused,
+            "elapsed_seconds": self.elapsed,
+            "eta_seconds": self.eta,
+            "workers": self.workers,
+        }
+        row.update(extra)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        except OSError:
+            # Telemetry must never take a campaign down (full disk, bad path, …).
+            pass

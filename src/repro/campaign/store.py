@@ -135,8 +135,18 @@ class ResultStore:
         return set(self._records)
 
     # ------------------------------------------------------------------ writing
-    def put(self, cell: CampaignCell, result: SimulationResult) -> dict:
-        """Persist ``result`` for ``cell`` (append + flush: an atomic-enough checkpoint)."""
+    def put(
+        self,
+        cell: CampaignCell,
+        result: SimulationResult,
+        telemetry: dict | None = None,
+    ) -> dict:
+        """Persist ``result`` for ``cell`` (append + flush: an atomic-enough checkpoint).
+
+        ``telemetry`` is the optional per-cell execution row (wall-clock,
+        µops/s, trace-cache deltas — see :func:`repro.obs.telemetry.cell_telemetry`);
+        it is stored alongside, never inside, the result dict.
+        """
         record = {
             "fingerprint": cell.fingerprint,
             "config": cell.config.name,
@@ -146,6 +156,8 @@ class ResultStore:
             "saved_unix": time.time(),
             "result": result.to_dict(),
         }
+        if telemetry is not None:
+            record["telemetry"] = telemetry
         if cell.fingerprint in self._records:
             self._superseded_lines += 1
         self._records[cell.fingerprint] = record

@@ -92,11 +92,17 @@ class ArchState:
 class Emulator:
     """Step-wise architectural emulator producing the committed µ-op trace."""
 
-    def __init__(self, program: Program, state: ArchState | None = None) -> None:
+    def __init__(
+        self, program: Program, state: ArchState | None = None, on_inst=None
+    ) -> None:
         if not program.resolved:
             program.resolve()
         self.program = program
         self.state = state if state is not None else ArchState()
+        #: Optional per-µ-op observer (repro.obs): called with every committed
+        #: ``DynInst``.  None (the default) keeps both execution loops hook-free
+        #: beyond one ``is not None`` check.
+        self.on_inst = on_inst
         self.pc = 0
         self.seq = 0
         self.halted = False
@@ -310,6 +316,8 @@ class Emulator:
             self.pc = HALT_PC
         else:
             self.pc = next_pc
+        if self.on_inst is not None:
+            self.on_inst(inst)
         return inst
 
     def run(self, max_uops: int) -> Iterator[DynInst]:
@@ -375,6 +383,7 @@ class Emulator:
         seq = self.seq
         append = out.append
         halt_pc = HALT_PC
+        on_inst = self.on_inst
         while len(out) < max_uops:
             if not 0 <= pc < length:
                 self.halted = True
@@ -547,21 +556,22 @@ class Emulator:
             if flags_result is not None:
                 arch_regs[flags_index] = flags_result & MASK64
 
-            append(
-                DynInst(
-                    seq,
-                    pc,
-                    uop,
-                    src_values,
-                    result,
-                    flags_result,
-                    flags_in,
-                    addr,
-                    store_value,
-                    taken,
-                    next_pc,
-                )
+            inst = DynInst(
+                seq,
+                pc,
+                uop,
+                src_values,
+                result,
+                flags_result,
+                flags_in,
+                addr,
+                store_value,
+                taken,
+                next_pc,
             )
+            append(inst)
+            if on_inst is not None:
+                on_inst(inst)
             seq += 1
             if next_pc == halt_pc or not 0 <= next_pc < length:
                 self.halted = True

@@ -1,0 +1,52 @@
+"""Campaign telemetry: per-cell wall-clock, throughput and trace-cache rows.
+
+The campaign executor wraps every simulated cell with a
+:class:`TraceCacheSnapshot` and a wall-clock timer and stores the resulting
+:func:`cell_telemetry` row alongside the simulation result in the JSONL
+ResultStore (``record["telemetry"]``).  ``repro-campaign report --metrics``
+renders those rows; the structured heartbeat log
+(:mod:`repro.campaign.progress`) covers the live-progress side.
+
+This module deliberately does not import the executor — the executor imports it —
+and adds nothing to the result itself, so stored results stay byte-compatible.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.trace.cache import shared_trace_cache
+
+
+class TraceCacheSnapshot:
+    """Counter snapshot of the shared trace cache, for per-cell deltas."""
+
+    __slots__ = ("captures", "hits", "store_hits")
+
+    def __init__(self) -> None:
+        self.captures = shared_trace_cache.captures
+        self.hits = shared_trace_cache.hits
+        self.store_hits = shared_trace_cache.store_hits
+
+    def delta(self) -> dict:
+        """Trace-cache activity since this snapshot was taken."""
+        return {
+            "captures": shared_trace_cache.captures - self.captures,
+            "hits": shared_trace_cache.hits - self.hits,
+            "store_hits": shared_trace_cache.store_hits - self.store_hits,
+        }
+
+
+def cell_telemetry(result, seconds: float, snapshot: TraceCacheSnapshot) -> dict:
+    """The telemetry row stored with one simulated cell.
+
+    ``uops_per_second`` uses the *full* committed count (warm-up included) — it
+    measures simulator throughput, not the measurement window.
+    """
+    committed = result.full_stats.committed_uops
+    return {
+        "wall_seconds": seconds,
+        "uops_per_second": committed / seconds if seconds > 0 else 0.0,
+        "trace_cache": snapshot.delta(),
+        "worker_pid": os.getpid(),
+    }

@@ -39,6 +39,10 @@ class IssueQueue:
         self._entries: list[InflightOp] = []
         self.peak_occupancy = 0
         self.full_stall_events = 0
+        #: Optional pipeline event tracer (repro.obs); the simulator attaches it
+        #: when ``REPRO_PIPE_TRACE`` is enabled, otherwise every hook site is one
+        #: ``is not None`` check.
+        self.tracer = None
         #: Byproduct of the last :meth:`select_ready` walk: the earliest future
         #: dispatch-maturity deadline among the entries it examined (``None`` when
         #: every examined entry was already mature).  Only meaningful when the walk
@@ -215,6 +219,8 @@ class IssueQueue:
             op.issued = True
             op.issue_cycle = cycle
             op.in_issue_queue = False
+            if self.tracer is not None:
+                self.tracer.emit(cycle, "wakeup", op, "scan")
             for producer in op.producers:
                 if producer is not None:
                     producer.iq_waiters -= 1
@@ -470,6 +476,8 @@ class WakeupIssueQueue(IssueQueue):
                         ready_at = self._ready_cycle(waiter)
                         if ready_at <= cycle:
                             insort(ready, (waiter.seq, waiter))
+                            if self.tracer is not None:
+                                self.tracer.emit(cycle, "wakeup", waiter, "store_release")
                         else:
                             self._park(waiter, gen, ready_at)
         return selected
@@ -478,6 +486,7 @@ class WakeupIssueQueue(IssueQueue):
         """Move every wheel entry whose readiness cycle has passed onto the ready list."""
         buckets = self._wake_buckets
         ready = self._ready
+        tracer = self.tracer
         added = False
         while buckets:
             key = self._wake_min
@@ -487,6 +496,8 @@ class WakeupIssueQueue(IssueQueue):
                 if op.wake_gen == gen and not op.squashed:
                     ready.append((op.seq, op))
                     added = True
+                    if tracer is not None:
+                        tracer.emit(cycle, "wakeup", op, "wheel")
             self._wake_min = min(buckets) if buckets else _NEVER
         if added:
             ready.sort()

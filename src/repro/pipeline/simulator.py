@@ -56,6 +56,8 @@ from repro.isa.opcode import OpClass
 from repro.isa.program import Program
 from repro.isa.trace import DynInst
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.metrics import drain_simulator_metrics, maybe_sim_metrics
+from repro.obs.tracer import maybe_tracer
 from repro.ooo.functional_units import FunctionalUnitPool
 from repro.ooo.inflight import InflightOp, InflightOpPool, UNKNOWN_CYCLE
 from repro.ooo.issue_queue import (
@@ -224,6 +226,26 @@ class Simulator:
         # lets the scheduler credit those cycles in bulk instead of ticking them.
         self._event_driven = event_driven_enabled()
         self._dispatch_stall_reason: str | None = None
+
+        # Observability (repro.obs): both hooks are None unless their env switch
+        # opts in, so every hot-path site pays one ``is not None`` check and the
+        # disabled path stays byte-identical (see docs/observability.md).
+        self.tracer = maybe_tracer()
+        self.metrics = metrics = maybe_sim_metrics()
+        if metrics is not None:
+            self._m_iq_occupancy = metrics.histogram("iq.occupancy")
+            self._m_wakeup_depth = metrics.histogram("iq.wakeup_list_depth")
+            self._m_skip_distance = metrics.histogram(
+                "scheduler.skip_distance", power_of_two=True
+            )
+            self._m_squash_depth = metrics.histogram("squash.depth", power_of_two=True)
+        else:
+            self._m_iq_occupancy = None
+            self._m_wakeup_depth = None
+            self._m_skip_distance = None
+            self._m_squash_depth = None
+        if self.tracer is not None:
+            self.iq.tracer = self.tracer
 
     # ================================================================== public API
     def run(self) -> SimulationResult:
@@ -469,6 +491,8 @@ class Simulator:
                 self.prf.record_bank_full_stall(gap)
             else:  # pragma: no cover - _dispatch only parks on the reasons above
                 raise SimulationError(f"unknown dispatch stall reason {reason!r}")
+        if self._m_skip_distance is not None:
+            self._m_skip_distance.record(gap)
 
     def _step(self) -> None:
         """Advance the machine by one cycle.
@@ -520,6 +544,7 @@ class Simulator:
         if not ops:
             return
         rearm = not self._wakeup
+        tracer = self.tracer
         for op in ops:
             op.in_completion_wheel = False
             if rearm and op.iq_waiters and not op.squashed and self.cycle < self._iq_scan_from:
@@ -533,9 +558,13 @@ class Simulator:
             if op.squashed:
                 # A squashed µ-op's stale wheel entry was its last reference; its
                 # record is recyclable the moment the entry pops.
+                if tracer is not None:
+                    tracer.emit(self.cycle, "complete", op, "squashed")
                 self.pool.release(op)
                 continue
             op.executed = True
+            if tracer is not None:
+                tracer.emit(self.cycle, "complete", op)
             if op is self._fetch_blocked_on:
                 self._resume_fetch_after_resolution()
             if op.uop.is_store:
@@ -544,7 +573,7 @@ class Simulator:
                 if violator is not None:
                     self.stats.memory_order_violations += 1
                     self.store_sets.train_violation(violator.pc, op.pc)
-                    self._squash_from(violator.seq)
+                    self._squash_from(violator.seq, "memory_order")
 
     def _resume_fetch_after_resolution(self) -> None:
         self._fetch_blocked_on = None
@@ -593,6 +622,7 @@ class Simulator:
         hierarchy_store = self.hierarchy.store
         store_sets = self.store_sets
         last_dispatched = self._last_dispatched_seq
+        tracer = self.tracer
         vp_group: list = []
         bpu_group: list = []
         squash_seq = -1
@@ -650,6 +680,8 @@ class Simulator:
                     stats.late_executed_alu += 1
             if op.pred_used:
                 stats.predictions_used += 1
+            if tracer is not None:
+                tracer.emit(cycle, "commit", op)
 
             # Free the rename mapping and the physical register.
             for dst in uop.dst_regs:
@@ -716,7 +748,7 @@ class Simulator:
         if vp_group:
             predictor.train_commit_group(vp_group)
         if squash_seq >= 0:
-            self._squash_from(squash_seq)
+            self._squash_from(squash_seq, "value_mispred")
 
     def _retire(self, op: InflightOp) -> None:
         """Bookkeeping common to every retiring µ-op.
@@ -753,6 +785,8 @@ class Simulator:
                 stats.late_executed_alu += 1
         if op.pred_used:
             stats.predictions_used += 1
+        if self.tracer is not None:
+            self.tracer.emit(self.cycle, "commit", op)
 
         # Free the rename mapping and the physical register.
         for dst in uop.dst_regs:
@@ -815,7 +849,7 @@ class Simulator:
         # Value misprediction: the offending µ-op retires with the architectural value,
         # everything younger is squashed and re-fetched (Section 3.1: pipeline squash).
         self.stats.value_mispredictions += 1
-        self._squash_from(op.seq + 1)
+        self._squash_from(op.seq + 1, "value_mispred")
         return True
 
     # ================================================================== issue / execute
@@ -915,6 +949,7 @@ class Simulator:
             return
         iq = self.iq
         ready = iq._ready
+        tracer = self.tracer
         if iq._wake_min <= cycle:
             # Inlined WakeupIssueQueue._surface_ripe (kept as the reference).
             buckets = iq._wake_buckets
@@ -927,6 +962,8 @@ class Simulator:
                     if op.wake_gen == gen and not op.squashed:
                         ready.append((op.seq, op))
                         added = True
+                        if tracer is not None:
+                            tracer.emit(cycle, "wakeup", op, "wheel")
                 iq._wake_min = min(buckets) if buckets else self._NEVER
             if added:
                 ready.sort()
@@ -967,6 +1004,8 @@ class Simulator:
                             ready_at = iq._ready_cycle(waiter)
                             if ready_at <= cycle:
                                 insort(ready, (waiter.seq, waiter))
+                                if tracer is not None:
+                                    tracer.emit(cycle, "wakeup", waiter, "store_release")
                             else:
                                 iq._park(waiter, gen, ready_at)
             start_execution = self._start_execution
@@ -980,6 +1019,8 @@ class Simulator:
     def _start_execution(self, op: InflightOp) -> None:
         uop = op.uop
         cycle = self.cycle
+        if self.tracer is not None:
+            self.tracer.emit(cycle, "issue", op)
         if uop.is_load:
             forwarding_store = self.lsq.forwarding_store(op)
             if forwarding_store is not None:
@@ -1003,6 +1044,8 @@ class Simulator:
                 # availability (registrations only exist in wake-up mode;
                 # WakeupIssueQueue.producer_available inlined).
                 op.wake_consumers = None
+                if self._m_wakeup_depth is not None:
+                    self._m_wakeup_depth.record(len(consumers))
                 iq = self.iq
                 d2i = self._d2i
                 buckets = iq._wake_buckets
@@ -1035,8 +1078,10 @@ class Simulator:
         else:
             # Wheel diet (wake-up mode): the completion would only have set this
             # flag; every reader also checks the commit deadline, so setting it
-            # at issue is invisible.
+            # at issue is invisible.  The traced event keeps the wheel timestamp.
             op.executed = True
+            if self.tracer is not None:
+                self.tracer.emit(complete, "complete", op)
 
     # ================================================================== rename / dispatch
     def _dispatch(self) -> None:
@@ -1090,6 +1135,7 @@ class Simulator:
         maturity = scan_wake
         wake_buckets = iq._wake_buckets if wakeup else None
         unknown_cycle = UNKNOWN_CYCLE
+        tracer = self.tracer
         group: list[InflightOp] = []
         overshot = False
         while len(group) < rename_width and frontend:
@@ -1165,6 +1211,9 @@ class Simulator:
                     op.mem_dependence = store_sets.dependence_for_load(op)
                 elif kind & 8:
                     store_sets.register_store(op)
+                if tracer is not None:
+                    tracer.emit(cycle, "dispatch", op, "nop" if kind & 256 else "late")
+                    tracer.emit(cycle, "complete", op, "bypass")
             else:
                 if len(iq_level) >= iq_capacity:
                     stats.iq_full_stalls += 1
@@ -1226,6 +1275,8 @@ class Simulator:
                     if scan_wake < self._iq_scan_from:
                         self._iq_scan_from = scan_wake
                 stats.dispatched_to_iq += 1
+                if tracer is not None:
+                    tracer.emit(cycle, "dispatch", op, "iq")
 
         if not overshot:
             # Peak statistics, deferred out of the per-µ-op loop: within one
@@ -1260,6 +1311,8 @@ class Simulator:
         occupancy = len(iq._members) if self._wakeup else len(iq._entries)
         if occupancy > iq.peak_occupancy:
             iq.peak_occupancy = occupancy
+        if self._m_iq_occupancy is not None:
+            self._m_iq_occupancy.record(occupancy)
 
     def _dispatch_overshoot(self, group: list[InflightOp]) -> list[InflightOp]:
         """Replicate the reference's rename overshoot when the IQ fills mid-group.
@@ -1453,6 +1506,7 @@ class Simulator:
         iq_capacity = iq.capacity
         store_sets = self.store_sets
         nop_class = OpClass.NOP
+        tracer = self.tracer
         for op in group:
             uop = op.uop
             kind = uop.hot_mask
@@ -1477,6 +1531,14 @@ class Simulator:
                     op.mem_dependence = store_sets.dependence_for_load(op)
                 elif kind & 8:
                     store_sets.register_store(op)
+                if tracer is not None:
+                    if op.early_executed:
+                        tracer.emit(cycle, "early_exec", op)
+                        cause = "early"
+                    else:
+                        cause = "nop" if kind & 256 else "late"
+                    tracer.emit(cycle, "dispatch", op, cause)
+                    tracer.emit(cycle, "complete", op, "bypass")
             else:
                 if len(iq_level) >= iq_capacity:
                     stats.iq_full_stalls += 1
@@ -1502,7 +1564,11 @@ class Simulator:
                     if wake < self._iq_scan_from:
                         self._iq_scan_from = wake
                 stats.dispatched_to_iq += 1
+                if tracer is not None:
+                    tracer.emit(cycle, "dispatch", op, "iq")
 
+        if self._m_iq_occupancy is not None:
+            self._m_iq_occupancy.record(len(iq_level))
         if wakeup:
             # One exact re-arm per dispatch group (see _dispatch).
             wake_min = iq._wake_min
@@ -1629,6 +1695,7 @@ class Simulator:
         trace_list = self._trace_list
         trace_length = len(trace_list) if trace_list is not None else 0
         unknown_cycle = UNKNOWN_CYCLE
+        tracer = self.tracer
         fetched = 0
         taken_branches = 0
         while fetched < fetch_width:
@@ -1726,13 +1793,23 @@ class Simulator:
 
             frontend.append(op)
             fetched += 1
+            if tracer is not None:
+                tracer.emit(cycle, "fetch", op, uop.opcode.name)
+                if predictor is not None and kind & 32:
+                    prediction = op.prediction
+                    if op.pred_used:
+                        tracer.emit(cycle, "vp_lookup", op, prediction.source)
+                    elif prediction is not None:
+                        tracer.emit(cycle, "vp_lookup", op, "low_confidence")
+                    else:
+                        tracer.emit(cycle, "vp_lookup", op, "miss")
             if stop_fetching:
                 break
         if fetched:
             stats.fetched_uops += fetched
 
     # ================================================================== squash
-    def _squash_from(self, seq: int) -> None:
+    def _squash_from(self, seq: int, cause: str = "value_mispred") -> None:
         """Squash every µ-op with sequence number >= ``seq`` and set up re-fetch."""
         self.stats.pipeline_squashes += 1
         squashed_rob = self.rob.squash_from(seq)
@@ -1746,6 +1823,13 @@ class Simulator:
         if not squashed:
             return
         self.stats.squashed_uops += len(squashed)
+        if self.tracer is not None:
+            emit = self.tracer.emit
+            for op in squashed:
+                emit(self.cycle, "squash", op, cause)
+        if self._m_squash_depth is not None:
+            self._m_squash_depth.record(len(squashed))
+            self.metrics.counter(f"squash.cause.{cause}").inc()
 
         # Undo structural allocations of the squashed µ-ops.
         for op in squashed_rob:
@@ -1805,6 +1889,13 @@ class Simulator:
         if self.predictor is not None:
             coverage = self.predictor.stats.coverage
             accuracy = self.predictor.stats.accuracy
+        extra = {
+            "iq_peak_occupancy": self.iq.peak_occupancy,
+            "rob_peak_occupancy": self.rob.peak_occupancy,
+            "btb_hit_rate": self.bpu.btb.hit_rate,
+        }
+        if self.metrics is not None:
+            extra["metrics"] = drain_simulator_metrics(self)
         return SimulationResult(
             config_name=self.config.name,
             workload_name=self.workload_name,
@@ -1819,11 +1910,7 @@ class Simulator:
             ),
             l1d_miss_rate=self.hierarchy.l1d.stats.miss_rate,
             l2_miss_rate=self.hierarchy.l2.stats.miss_rate,
-            extra={
-                "iq_peak_occupancy": self.iq.peak_occupancy,
-                "rob_peak_occupancy": self.rob.peak_occupancy,
-                "btb_hit_rate": self.bpu.btb.hit_rate,
-            },
+            extra=extra,
         )
 
 

@@ -58,6 +58,25 @@ class TestRunner:
         assert default_max_uops() == 777
         assert default_warmup_uops() == 111
 
+    def test_single_cell_progress_matches_campaign_output(self, monkeypatch, capsys):
+        """REPRO_PROGRESS on a single-cell run prints the same running/done/ETA
+        lines a campaign grid would — including the announcement with an ETA."""
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        run_workload(
+            _fast_config(), workload("gcc"), max_uops=400, warmup_uops=0, cache=None
+        )
+        err = capsys.readouterr().err
+        assert "running" in err and "ETA" in err
+        assert "simulated in" in err
+        assert "done: 1 simulated, 0 reused" in err
+
+    def test_single_cell_progress_off_is_silent(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        run_workload(
+            _fast_config(), workload("gcc"), max_uops=400, warmup_uops=0, cache=None
+        )
+        assert capsys.readouterr().err == ""
+
 
 class TestCustomWorkloads:
     def test_run_suite_simulates_the_object_passed_not_the_registry_twin(self):

@@ -4,6 +4,8 @@ import importlib.util
 import json
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 _spec = importlib.util.spec_from_file_location(
@@ -59,3 +61,29 @@ class TestLadder:
         for entry in entries:
             assert "grid" in entry and "seconds" in entry["grid"]
             assert "single_cell" in entry
+
+
+class TestEntryProvenance:
+    def test_git_sha_points_at_head(self):
+        sha = throughput._git_sha()
+        assert sha is not None and len(sha) == 40
+        assert all(c in "0123456789abcdef" for c in sha)
+
+    def test_host_info_shape(self):
+        host = throughput._host_info()
+        assert set(host) == {"hostname", "machine", "cpus"}
+        assert host["cpus"] >= 1
+
+    def test_meta_pairs_parse(self):
+        assert throughput._parse_meta(["ci=true", "branch=main"]) == {
+            "ci": "true",
+            "branch": "main",
+        }
+        assert throughput._parse_meta(["note=a=b"]) == {"note": "a=b"}
+        assert throughput._parse_meta([]) == {}
+
+    def test_malformed_meta_is_rejected(self):
+        with pytest.raises(SystemExit):
+            throughput._parse_meta(["no-equals"])
+        with pytest.raises(SystemExit):
+            throughput._parse_meta(["=valueless"])

@@ -56,3 +56,37 @@ class TestProgressReporter:
         output = stream.getvalue()
         assert "[x] 1/1 (100%) Baseline_6_64/mcf simulated" in output
         assert "done: 1 simulated, 0 reused" in output
+
+    def test_cell_started_announces_the_run_with_an_eta(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, enabled=True, stream=stream, label="x")
+        reporter.cell_started(self._cell())
+        reporter.cell_done(self._cell(), 2.0, reused=False)
+        reporter.cell_started(self._cell())
+        output = stream.getvalue()
+        lines = output.splitlines()
+        assert "Baseline_6_64/mcf running" in lines[0]
+        assert "ETA unknown" in lines[0]  # nothing simulated yet
+        assert "Baseline_6_64/mcf running" in lines[2]
+        assert "ETA unknown" not in lines[2]  # extrapolated from the first cell
+
+    def test_cell_started_is_silent_when_disabled(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=1, enabled=False, stream=stream)
+        reporter.cell_started(self._cell())
+        assert stream.getvalue() == ""
+
+    def test_utilization_accounts_for_the_worker_pool(self):
+        reporter = ProgressReporter(total=4, enabled=False, workers=2)
+        reporter.cell_done(self._cell(), 10_000.0, reused=False)
+        assert reporter.utilization == 1.0  # capped: simulated time >> elapsed
+
+    def test_finish_reports_utilisation_for_pools(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=1, enabled=True, stream=stream, label="x", workers=2
+        )
+        reporter.cell_done(self._cell(), 0.5, reused=False)
+        reporter.finish()
+        assert "2 workers" in stream.getvalue()
+        assert "utilisation" in stream.getvalue()

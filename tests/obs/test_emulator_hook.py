@@ -1,0 +1,39 @@
+"""The emulator's ``on_inst`` observation hook (both step and batch paths)."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.emulator import Emulator
+
+
+def _program():
+    b = ProgramBuilder()
+    b.movi("r1", 5)
+    b.addi("r2", "r1", 7)
+    b.add("r3", "r1", "r2")
+    return b.build()
+
+
+def test_step_path_reports_every_instruction():
+    seen = []
+    emulator = Emulator(_program(), on_inst=seen.append)
+    insts = []
+    while True:
+        inst = emulator.step()
+        if inst is None:
+            break
+        insts.append(inst)
+    assert seen == insts
+    assert len(seen) == 3
+
+
+def test_batch_path_reports_every_instruction():
+    seen = []
+    emulator = Emulator(_program(), on_inst=seen.append)
+    batch = emulator.run_batch(100)
+    assert seen == batch
+    assert len(seen) == 3
+
+
+def test_hook_does_not_change_results():
+    plain = Emulator(_program()).run_batch(100)
+    observed = Emulator(_program(), on_inst=lambda inst: None).run_batch(100)
+    assert [(i.pc, i.result) for i in plain] == [(i.pc, i.result) for i in observed]

@@ -1,0 +1,70 @@
+"""In-process tests of the ``repro-obs`` command line."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.tracer import PIPE_TRACE_ENV_VAR, validate_trace_events
+from repro.trace.cache import shared_trace_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared_cache():
+    yield
+    shared_trace_cache.clear()
+
+
+class TestTraceSubcommand:
+    def test_writes_validated_exports(self, tmp_path, capsys):
+        perfetto = tmp_path / "trace.json"
+        konata = tmp_path / "trace.konata.txt"
+        code = main(
+            [
+                "trace", "--config", "EOLE_4_64", "--workload", "gcc",
+                "--max-uops", "1200", "--warmup-uops", "200",
+                "--perfetto", str(perfetto), "--konata", str(konata),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(perfetto.read_text())
+        validate_trace_events(payload)
+        assert payload["otherData"]["config"] == "EOLE_4_64"
+        assert payload["traceEvents"]
+        assert konata.read_text().startswith("O3PipeView:fetch:")
+        assert "events emitted" in capsys.readouterr().out
+
+    def test_respects_buffer_bound(self, tmp_path, capsys):
+        perfetto = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", "--max-uops", "1200", "--warmup-uops", "0",
+                "--buffer", "32", "--perfetto", str(perfetto),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(perfetto.read_text())
+        assert payload["otherData"]["dropped"] > 0
+
+    def test_restores_the_environment(self, monkeypatch, capsys):
+        monkeypatch.delenv(PIPE_TRACE_ENV_VAR, raising=False)
+        import os
+
+        assert main(["trace", "--max-uops", "600", "--warmup-uops", "0"]) == 0
+        assert PIPE_TRACE_ENV_VAR not in os.environ
+
+
+class TestMetricsSubcommand:
+    def test_json_format(self, capsys):
+        code = main(
+            ["metrics", "--max-uops", "800", "--warmup-uops", "0", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scalars"]["sim.committed_uops"] > 0
+        assert "histograms" in payload
+
+    def test_table_format(self, capsys):
+        assert main(["metrics", "--max-uops", "600", "--warmup-uops", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "scalars" in out and "sim.ipc" in out

@@ -1,0 +1,147 @@
+"""Golden tests for the Perfetto trace-event and Konata/O3PipeView exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    PipeTracer,
+    to_konata,
+    to_trace_events,
+    validate_trace_events,
+    write_konata,
+    write_trace_events,
+)
+
+
+class _Op:
+    def __init__(self, seq, pc, slot):
+        self.seq = seq
+        self.pc = pc
+        self.slot = slot
+
+
+def _committed_tracer() -> PipeTracer:
+    """One full lifecycle: fetch → dispatch → issue → complete → commit."""
+    tracer = PipeTracer(capacity=64)
+    op = _Op(seq=7, pc=0x40, slot=3)
+    tracer.emit(10, "fetch", op, "ADD")
+    tracer.emit(10, "vp_lookup", op, "stride")
+    tracer.emit(12, "dispatch", op, "iq")
+    tracer.emit(13, "wakeup", op, "wheel")
+    tracer.emit(14, "issue", op)
+    tracer.emit(16, "complete", op)
+    tracer.emit(18, "commit", op)
+    return tracer
+
+
+def _squashed_tracer() -> PipeTracer:
+    tracer = PipeTracer(capacity=64)
+    op = _Op(seq=9, pc=0x44, slot=1)
+    tracer.emit(20, "fetch", op, "BEQ")
+    tracer.emit(21, "dispatch", op, "iq")
+    tracer.emit(24, "squash", op, "value_mispred")
+    tracer.emit(26, "complete", op, "squashed")  # stale wheel entry, dead incarnation
+    return tracer
+
+
+class TestPerfettoExport:
+    def test_committed_lifecycle_spans(self):
+        payload = to_trace_events(_committed_tracer())
+        validate_trace_events(payload)
+        events = payload["traceEvents"]
+        lanes = [e for e in events if e["ph"] == "M"]
+        assert lanes == [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 3,
+             "args": {"name": "pool slot 3"}}
+        ]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert set(spans) == {"fetch", "dispatch", "issue", "complete"}
+        assert spans["fetch"]["ts"] == 10 and spans["fetch"]["dur"] == 2
+        assert spans["complete"]["ts"] == 16 and spans["complete"]["dur"] == 2
+        assert spans["fetch"]["args"] == {"seq": 7, "pc": "0x40", "uop": "ADD"}
+        instants = {e["name"] for e in events if e["ph"] == "i"}
+        assert instants == {"vp_lookup", "wakeup", "commit"}
+
+    def test_instant_markers_carry_causes(self):
+        payload = to_trace_events(_committed_tracer())
+        lookup = next(
+            e for e in payload["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "vp_lookup"
+        )
+        assert lookup["args"]["cause"] == "stride"
+        assert lookup["s"] == "t"
+
+    def test_squashed_lifecycle_gets_squash_instant_not_commit(self):
+        payload = to_trace_events(_squashed_tracer())
+        validate_trace_events(payload)
+        instants = {e["name"] for e in payload["traceEvents"] if e["ph"] == "i"}
+        assert "squash" in instants and "commit" not in instants
+
+    def test_metadata_and_drop_accounting(self):
+        tracer = _committed_tracer()
+        payload = to_trace_events(tracer, metadata={"config": "EOLE_4_64"})
+        assert payload["otherData"]["config"] == "EOLE_4_64"
+        assert payload["otherData"]["emitted"] == tracer.emitted
+        assert payload["otherData"]["dropped"] == 0
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_trace_events(_committed_tracer(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        validate_trace_events(loaded)
+
+    def test_partial_lifecycle_without_fetch_is_skipped(self):
+        tracer = PipeTracer(capacity=64)
+        tracer.emit(5, "commit", _Op(seq=1, pc=0x10, slot=0))  # fetch evicted
+        payload = to_trace_events(tracer)
+        assert payload["traceEvents"] == []
+
+
+class TestKonataExport:
+    def test_committed_record_golden(self):
+        text = to_konata(_committed_tracer())
+        assert text.splitlines() == [
+            "O3PipeView:fetch:10000:0x00000040:0:7:ADD",
+            "O3PipeView:decode:10000",
+            "O3PipeView:rename:12000",
+            "O3PipeView:dispatch:12000",
+            "O3PipeView:issue:14000",
+            "O3PipeView:complete:16000",
+            "O3PipeView:retire:18000:store:0",
+        ]
+
+    def test_squashed_record_never_retires(self):
+        text = to_konata(_squashed_tracer())
+        assert "O3PipeView:retire:0:store:0" in text
+        assert text.startswith("O3PipeView:fetch:20000:0x00000044:0:9:BEQ")
+
+    def test_write_konata(self, tmp_path):
+        path = tmp_path / "konata.txt"
+        text = write_konata(_committed_tracer(), path)
+        assert path.read_text() == text
+
+
+class TestValidation:
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ValueError):
+            validate_trace_events([])
+
+    def test_rejects_missing_trace_events_list(self):
+        with pytest.raises(ValueError):
+            validate_trace_events({"traceEvents": "nope"})
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_trace_events(
+                {"traceEvents": [{"name": "x", "ph": "Q", "pid": 0, "tid": 0, "ts": 0}]}
+            )
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="dur"):
+            validate_trace_events(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": -1}
+                ]}
+            )
