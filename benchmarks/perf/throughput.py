@@ -51,6 +51,11 @@ try:  # the trace subsystem arrives with this harness; the baseline tree lacks i
 except ImportError:  # pragma: no cover - only on pre-trace checkouts
     shared_trace_cache = None
 
+try:  # the switchable in-flight record backend arrives with PR 7
+    from repro.ooo.inflight import soa_batch_enabled, soa_enabled
+except ImportError:  # pragma: no cover - only on pre-SoA checkouts
+    soa_enabled = soa_batch_enabled = None
+
 GRID_CONFIGS = (
     "Baseline_6_64",
     "Baseline_VP_6_64",
@@ -239,6 +244,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     meta = _parse_meta(args.meta)
+    if soa_enabled is not None:
+        # Stamp the in-flight record backend automatically so ladder rungs are
+        # always attributable; an explicit --meta backend=... wins.
+        meta.setdefault("backend", "soa" if soa_enabled() else "object")
+        if soa_enabled() and soa_batch_enabled():
+            meta.setdefault("soa_batch", "1")
 
     entry = {
         "label": args.label,

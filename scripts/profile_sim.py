@@ -27,6 +27,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.ooo.inflight import SOA_BATCH_ENV_VAR, SOA_ENV_VAR  # noqa: E402
 from repro.pipeline.config import NAMED_CONFIGS, named_config  # noqa: E402
 from repro.pipeline.simulator import EVENT_DRIVEN_ENV_VAR, Simulator, simulate  # noqa: E402
 from repro.trace.cache import shared_trace_cache  # noqa: E402
@@ -58,6 +59,13 @@ class StageTimedSimulator(Simulator):
                 self._train_seconds_in_commit += time.perf_counter() - started
                 self.stage_calls["train"] += 1
             self.predictor.train_commit_group = timed_vp_train
+            inner_vp_cols = self.predictor.train_commit_group_columns
+            def timed_vp_train_cols(pcs, actuals, predictions, batch=False, _inner=inner_vp_cols):
+                started = time.perf_counter()
+                _inner(pcs, actuals, predictions, batch=batch)
+                self._train_seconds_in_commit += time.perf_counter() - started
+                self.stage_calls["train"] += 1
+            self.predictor.train_commit_group_columns = timed_vp_train_cols
         inner_bpu = self.bpu.train_commit_group
         def timed_bpu_train(group, _inner=inner_bpu):
             started = time.perf_counter()
@@ -65,6 +73,13 @@ class StageTimedSimulator(Simulator):
             self._train_seconds_in_commit += time.perf_counter() - started
             self.stage_calls["train"] += 1
         self.bpu.train_commit_group = timed_bpu_train
+        inner_bpu_cols = self.bpu.train_commit_group_columns
+        def timed_bpu_train_cols(pcs, outcomes, _inner=inner_bpu_cols):
+            started = time.perf_counter()
+            _inner(pcs, outcomes)
+            self._train_seconds_in_commit += time.perf_counter() - started
+            self.stage_calls["train"] += 1
+        self.bpu.train_commit_group_columns = timed_bpu_train_cols
 
     def _timed(self, stage, inner):
         started = time.perf_counter()
@@ -72,16 +87,31 @@ class StageTimedSimulator(Simulator):
         self.stage_seconds[stage] += time.perf_counter() - started
         self.stage_calls[stage] += 1
 
+    # The generic stage entry points delegate to the ``_soa`` variants under
+    # REPRO_SOA=1 (which carry their own wrappers below) — time them only when
+    # the object-backend body actually runs, so step mode never double-counts.
     def _fetch(self):
+        if self._soa:
+            super()._fetch()
+            return
         self._timed("fetch", super()._fetch)
 
     def _dispatch(self):
+        if self._soa:
+            super()._dispatch()
+            return
         self._timed("dispatch", super()._dispatch)
 
     def _issue(self):
+        if self._soa and self._wakeup:
+            super()._issue()
+            return
         self._timed("issue", super()._issue)
 
     def _commit(self):
+        if self._soa:
+            super()._commit()
+            return
         before_train = self._train_seconds_in_commit
         started = time.perf_counter()
         super()._commit()
@@ -92,7 +122,35 @@ class StageTimedSimulator(Simulator):
         self.stage_calls["commit"] += 1
 
     def _process_completions(self):
+        if self._soa:
+            super()._process_completions()
+            return
         self._timed("completions", super()._process_completions)
+
+    # SoA variants: the SoA event loop binds these directly (bypassing the
+    # generic stage entry points above), so they need their own wrappers for
+    # the breakdown to stay truthful under REPRO_SOA=1.
+    def _fetch_soa(self):
+        self._timed("fetch", super()._fetch_soa)
+
+    def _dispatch_soa(self):
+        self._timed("dispatch", super()._dispatch_soa)
+
+    def _issue_wakeup_soa(self):
+        self._timed("issue", super()._issue_wakeup_soa)
+
+    def _commit_soa(self):
+        before_train = self._train_seconds_in_commit
+        started = time.perf_counter()
+        super()._commit_soa()
+        elapsed = time.perf_counter() - started
+        train_delta = self._train_seconds_in_commit - before_train
+        self.stage_seconds["commit"] += elapsed - train_delta
+        self.stage_seconds["train"] += train_delta
+        self.stage_calls["commit"] += 1
+
+    def _process_completions_soa(self):
+        self._timed("completions", super()._process_completions_soa)
 
     def report(self) -> str:
         lines = ["per-stage cumulative wall clock (instrumented):"]
@@ -146,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
         "cycle-stepping reference (REPRO_EVENT_DRIVEN=0)",
     )
     parser.add_argument(
+        "--backend", default=None, choices=["soa", "object"],
+        help="in-flight record backend: the columnar structure-of-arrays pool "
+        "(REPRO_SOA=1) or the object-record pool (the default); omitting the "
+        "flag keeps whatever the environment selects",
+    )
+    parser.add_argument(
         "--include-capture", action="store_true",
         help="profile the architectural trace capture too (cold-cell cost)",
     )
@@ -164,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.format == "json" and not args.stage_times:
         parser.error("--format=json requires --stage-times")
     os.environ[EVENT_DRIVEN_ENV_VAR] = "0" if args.mode == "step" else "1"
+    if args.backend is not None:
+        os.environ[SOA_ENV_VAR] = "1" if args.backend == "soa" else "0"
 
     config = named_config(args.config)
     wl = workload(args.workload)
@@ -191,6 +257,11 @@ def main(argv: list[str] | None = None) -> int:
                 "max_uops": args.max_uops,
                 "warmup_uops": args.warmup_uops,
                 "mode": args.mode,
+                # The backend the run actually used (the simulator resolves the
+                # env switches at construction; _soa_batch also folds in numpy
+                # availability), so dashboards can split regressions by backend.
+                "backend": "soa" if simulator._soa else "object",
+                "soa_batch": bool(simulator._soa_batch),
                 "ipc": result.ipc,
                 **simulator.report_dict(),
             }

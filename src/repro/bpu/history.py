@@ -47,9 +47,18 @@ class FoldedRegisterFile:
     path ever re-folds the raw history once the file is attached.
     """
 
-    __slots__ = ("history", "lengths", "widths", "folds", "_params", "_tuple_cache")
+    __slots__ = (
+        "history",
+        "lengths",
+        "widths",
+        "folds",
+        "_params",
+        "_active",
+        "_activations",
+        "_tuple_cache",
+    )
 
-    def __init__(self, history: "GlobalHistory", lengths, widths) -> None:
+    def __init__(self, history: "GlobalHistory", lengths, widths, lazy: bool = False) -> None:
         self.history = history
         self.lengths = tuple(lengths)
         self.widths = tuple(widths)
@@ -68,16 +77,67 @@ class FoldedRegisterFile:
                 self._params.append(
                     (length - 1, length % width, width - 1, (1 << width) - 1)
                 )
-        self.folds: list[int] = []
+        # A lazy file starts with every register dormant: pushes skip it (``_push``
+        # iterates ``_active``) and its fold reads as ``None`` until :meth:`activate`
+        # back-fills it from the raw history.  Consumers of possibly-dormant folds
+        # must fall back to ``fold_bits`` on ``None`` (TAGE/VTAGE carry the raw
+        # lookup-time bits for exactly that).  An eager file is fully active forever.
+        self._active: list = [None] * len(self._params) if lazy else list(self._params)
+        self._activations = 0
+        self.folds: list = []
         self._refold(history._bits)
 
     def _refold(self, bits: int) -> None:
-        """Recompute every register from raw ``bits`` (attach time / legacy restore)."""
+        """Recompute every active register from raw ``bits`` (attach time / legacy restore)."""
+        capacity = self.history.capacity
         self.folds = [
-            fold_bits(bits, min(length, self.history.capacity), width)
-            for length, width in zip(self.lengths, self.widths)
+            fold_bits(bits, min(length, capacity), width) if active is not None else None
+            for active, length, width in zip(self._active, self.lengths, self.widths)
         ]
-        self._tuple_cache: tuple[int, ...] | None = None
+        self._tuple_cache: tuple | None = None
+
+    def activate(self, index: int) -> None:
+        """Wake a dormant register, back-filling its fold from the raw history.
+
+        Idempotent and monotonic: once active, a register is rotated by every
+        subsequent push and always equals the reference fold.  Called by TAGE/VTAGE
+        the first time a tagged component receives an entry (``_component_sizes``
+        0→1), so histories only pay per-push work for components that exist.
+        """
+        if self._active[index] is not None:
+            return
+        params = self._params[index]
+        if params is None:
+            return
+        self._active[index] = params
+        history = self.history
+        self.folds[index] = fold_bits(
+            history._bits, min(self.lengths[index], history.capacity), self.widths[index]
+        )
+        self._tuple_cache = None
+        self._activations += 1
+
+    def activate_all(self) -> None:
+        """Promote the file to fully-eager (every register active)."""
+        for index in range(len(self._params)):
+            self.activate(index)
+
+    def _restore_patch(self, saved: tuple, bits: int) -> None:
+        """Restore from a snapshot older than the latest activation.
+
+        Registers activated after the snapshot have ``None`` holes in ``saved`` but
+        are active now — an active register must always hold a valid fold, so the
+        holes are re-folded from the restored raw ``bits``.
+        """
+        folds = list(saved)
+        capacity = self.history.capacity
+        for index, active in enumerate(self._active):
+            if active is not None and folds[index] is None:
+                folds[index] = fold_bits(
+                    bits, min(self.lengths[index], capacity), self.widths[index]
+                )
+        self.folds = folds
+        self._tuple_cache = None
 
     def folds_tuple(self) -> tuple[int, ...]:
         """Immutable snapshot of the register values, memoised between pushes.
@@ -97,7 +157,7 @@ class FoldedRegisterFile:
         self._tuple_cache = None
         folds = self.folds
         index = 0
-        for params in self._params:
+        for params in self._active:
             if params is not None:
                 out_shift, out_point, top_shift, mask = params
                 fold = folds[index]
@@ -123,7 +183,11 @@ class HistorySnapshot(int):
     so at most one is created per history change.)
     """
 
-    folds: tuple[tuple[int, ...], ...]
+    folds: tuple[tuple, ...]
+    #: Per-file activation counters at snapshot time, so ``restore`` can detect lazy
+    #: registers that woke up after the snapshot (their saved folds are ``None``
+    #: holes that must be re-folded from the raw bits).
+    acts: tuple[int, ...]
 
 
 class GlobalHistory:
@@ -168,6 +232,7 @@ class GlobalHistory:
         if snapshot is None:
             snapshot = HistorySnapshot(self._bits)
             snapshot.folds = tuple(reg.folds_tuple() for reg in self._registers)
+            snapshot.acts = tuple(reg._activations for reg in self._registers)
             self._snapshot = snapshot
         return snapshot
 
@@ -175,10 +240,20 @@ class GlobalHistory:
         """Restore a checkpoint taken with :meth:`snapshot` (or raw history bits)."""
         self._bits = int(snapshot) & self._mask
         folds = getattr(snapshot, "folds", None)
+        acts = getattr(snapshot, "acts", None)
         for index, registers in enumerate(self._registers):
             if folds is not None and index < len(folds):
-                registers.folds = list(folds[index])
-                registers._tuple_cache = folds[index]
+                if (
+                    acts is None
+                    or index >= len(acts)
+                    or acts[index] != registers._activations
+                ):
+                    # Lazy registers woke up after this snapshot was taken: patch
+                    # the ``None`` holes from the restored raw bits.
+                    registers._restore_patch(folds[index], self._bits)
+                else:
+                    registers.folds = list(folds[index])
+                    registers._tuple_cache = folds[index]
             else:
                 # Register file attached after the snapshot was taken (or a raw-bits
                 # restore): fall back to re-folding from the restored history.
@@ -193,17 +268,22 @@ class GlobalHistory:
         self._snapshot = None
 
     # ------------------------------------------------------------------ folded registers
-    def folded_registers(self, lengths, widths) -> FoldedRegisterFile:
+    def folded_registers(self, lengths, widths, lazy: bool = False) -> FoldedRegisterFile:
         """Attach (or reuse) an incremental folded-register file for given pairs.
 
         Register files are deduplicated by their (lengths, widths) signature, so two
-        predictors with identical geometry share one set of registers.
+        predictors with identical geometry share one set of registers.  With
+        ``lazy=True`` the registers start dormant and are woken individually via
+        :meth:`FoldedRegisterFile.activate`; an eager request for an existing lazy
+        file promotes it (active registers are always valid, just never dormant).
         """
         key = (tuple(lengths), tuple(widths))
         for registers in self._registers:
             if (registers.lengths, registers.widths) == key:
+                if not lazy:
+                    registers.activate_all()
                 return registers
-        registers = FoldedRegisterFile(self, key[0], key[1])
+        registers = FoldedRegisterFile(self, key[0], key[1], lazy=lazy)
         self._registers.append(registers)
         self._snapshot = None
         return registers

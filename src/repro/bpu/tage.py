@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bpu.history import FoldedRegisterFile, GlobalHistory
+from repro.bpu.history import FoldedRegisterFile, GlobalHistory, fold_bits
 from repro.errors import ConfigurationError
 from repro.vp.confidence import DeterministicRandom
 from repro.vp.vtage import geometric_history_lengths
@@ -49,8 +49,12 @@ class TAGEPrediction:
     provider_index: int
     alt_taken: bool
     pc: int
-    folds: tuple[int, ...]
+    folds: tuple
     bimodal_index: int
+    #: Raw history bits at lookup time.  The fold snapshot holds ``None`` for
+    #: components whose lazily-activated register was still dormant; consumers
+    #: re-fold those from ``bits`` (provably equal to what the register held).
+    bits: int = 0
 
 
 class _TageEntry:
@@ -156,7 +160,8 @@ class TAGEBranchPredictor:
         registers = self._fold_registers
         if registers is None or registers.history is not history:
             registers = history.folded_registers(
-                self.history_lengths + self.history_lengths, self._fold_widths
+                self.history_lengths + self.history_lengths, self._fold_widths,
+                lazy=True,
             )
             self._fold_registers = registers
         return registers.folds
@@ -222,6 +227,7 @@ class TAGEBranchPredictor:
             pc=pc,
             folds=self._fold_registers.folds_tuple(),
             bimodal_index=bimodal_index,
+            bits=history._bits,
         )
         if high_confidence:
             self.high_confidence_lookups += 1
@@ -275,12 +281,17 @@ class TAGEBranchPredictor:
         if rank == prediction.provider:
             return prediction.provider_index
         index_mixes, _, _ = self._pc_mixes(prediction.pc)
-        return (index_mixes[rank] ^ prediction.folds[rank]) & self._tagged_mask
+        fold = prediction.folds[rank]
+        if fold is None:  # register was dormant at lookup — re-fold from raw bits
+            fold = fold_bits(prediction.bits, self.history_lengths[rank], self._index_width)
+        return (index_mixes[rank] ^ fold) & self._tagged_mask
 
     def _prediction_tag(self, prediction: TAGEPrediction, rank: int) -> int:
         """Re-derive the component tag the lookup for ``prediction`` used."""
         _, tag_mixes, _ = self._pc_mixes(prediction.pc)
         fold = prediction.folds[self.num_components + rank]
+        if fold is None:  # register was dormant at lookup — re-fold from raw bits
+            fold = fold_bits(prediction.bits, self.history_lengths[rank], self.tag_bits)
         return (tag_mixes[rank] ^ fold) & self._tag_mask
 
     def _allocate(self, taken: bool, prediction: TAGEPrediction) -> None:
@@ -289,12 +300,18 @@ class TAGEBranchPredictor:
         index_mixes, _, _ = self._pc_mixes(prediction.pc)
         folds = prediction.folds
         tagged_mask = self._tagged_mask
+        bits = prediction.bits
+        lengths = self.history_lengths
+        index_width = self._index_width
         # One fused probe pass over the longer-history components only, re-deriving
         # each index from the prediction's fold snapshot (identical to the lookup's).
         probed: list[tuple[int, int, _TageEntry | None]] = []
         candidates: list[tuple[int, int, _TageEntry | None]] = []
         for rank in range(start, self.num_components):
-            index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
+            fold = folds[rank]
+            if fold is None:  # dormant register at lookup time
+                fold = fold_bits(bits, lengths[rank], index_width)
+            index = (index_mixes[rank] ^ fold) & tagged_mask
             entry = components[rank][index]
             probed.append((rank, index, entry))
             if entry is None or entry.useful == 0:
@@ -311,6 +328,13 @@ class TAGEBranchPredictor:
             choice_entry = _TageEntry()
             components[choice][choice_index] = choice_entry
             self._component_sizes[choice] += 1
+            if self._component_sizes[choice] == 1:
+                # First entry in this component: wake its lazily-dormant folded
+                # registers so subsequent lookups read live folds.
+                registers = self._fold_registers
+                if registers is not None:
+                    registers.activate(choice)
+                    registers.activate(self.num_components + choice)
         choice_entry.valid = True
         choice_entry.tag = self._prediction_tag(prediction, choice)
         choice_entry.counter = 4 if taken else 3

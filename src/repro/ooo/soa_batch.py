@@ -1,0 +1,120 @@
+"""Optional numpy batch kernels over the SoA columns (``REPRO_SOA_BATCH=1``).
+
+Two narrowly scoped kernels, both byte-identical to the scalar loops they
+replace and both *opt-in* (the env switch defaults to off; see
+:data:`repro.ooo.inflight.SOA_BATCH_ENV_VAR`):
+
+* :func:`drain_completions_batch` — completion-wheel drain: clear the wheel
+  flag and set ``executed`` for a whole drained list in two vectorised stores.
+  Only safe for drains with **no stores and no squashed entries** — a mid-drain
+  store can raise a memory-order violation that squashes later entries of the
+  same list, so any precomputed mask would go stale.  The kernel verifies the
+  precondition itself (against the flag/kind columns) and refuses otherwise.
+* :func:`record_outcome_counts` — commit-group validation: the
+  correct/incorrect/unused outcome tallies of one commit group's predictions as
+  three ``uint64`` equality-mask reductions.  The counts are order-independent
+  sums, so batching them never perturbs the per-item FPC training order.
+
+The zero-copy ``c_hot`` view is created per call with :func:`numpy.frombuffer`
+— holding a persistent view over an ``array`` column would make the arena
+unable to grow (``BufferError`` on resize); the list-backed flag columns are
+gathered with :func:`numpy.fromiter`.  When numpy is missing the module
+degrades to :func:`batch_available` returning False and the simulator keeps the
+scalar paths; nothing is installed on demand.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised indirectly via batch_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in the dev image
+    _np = None
+
+# Flag-column bit positions, mirroring repro.ooo.inflight.  Mirrored rather
+# than imported: this module is reachable from the predictor stack (vp.hybrid
+# imports the outcome kernel) while inflight sits above that stack, so an
+# import here would be circular.  tests/ooo asserts the mirror stays in sync.
+F_EXECUTED = 32
+F_SQUASHED = 64
+F2_IN_COMPLETION_WHEEL = 2
+
+#: Minimum drained-list length before the wheel kernel beats the scalar loop.
+#: Deterministic gate: it depends only on the (deterministic) drain size.
+DRAIN_MIN_BATCH = 8
+
+#: Minimum commit-group length for the validation kernel (commit groups are
+#: bounded by ``commit_width``, so this mostly fires on wide-commit configs).
+VALIDATE_MIN_BATCH = 4
+
+
+def batch_available() -> bool:
+    """True when numpy is importable (the kernels can run)."""
+    return _np is not None
+
+
+def drain_completions_batch(pool, ops) -> bool:
+    """Vectorised completion-wheel drain over ``pool``'s flag columns.
+
+    Returns True when the drain was handled: every op in ``ops`` had its
+    ``in_completion_wheel`` flag cleared and ``executed`` set.  Returns False —
+    having mutated **nothing** — when the list contains a store or a squashed
+    entry (the scalar loop must run: store execution can squash mid-drain, and
+    squashed entries must be released, not marked executed).
+    """
+    np = _np
+    if np is None:
+        return False
+    count = len(ops)
+    c_flags = pool.c_flags
+    slot_list = [op.slot for op in ops]
+    flags = np.fromiter((c_flags[slot] for slot in slot_list), dtype=np.uint8, count=count)
+    if (flags & F_SQUASHED).any():
+        return False
+    slots = np.asarray(slot_list, dtype=np.intp)
+    hot = np.frombuffer(pool.c_hot, dtype=np.int64)
+    if (hot[slots] & 8).any():  # store
+        return False
+    # The flag columns are plain lists (scalar stage loops own them — see
+    # ColumnarInflightOpPool.__init__), so the writeback is a fused scalar
+    # sweep; the batch win here is the two vectorised precondition reductions
+    # replacing per-op squash/store tests.
+    c_flags2 = pool.c_flags2
+    keep = 0xFF ^ F2_IN_COMPLETION_WHEEL
+    for slot in slot_list:
+        c_flags2[slot] &= keep
+        c_flags[slot] |= F_EXECUTED
+    return True
+
+
+def record_outcome_counts(actuals, predictions):
+    """Outcome tallies ``(correct_used, incorrect_used, unused_correct)`` for one
+    commit group, or None when the group is not batchable.
+
+    Batchable means: every prediction is non-None and every value fits
+    ``uint64`` (the predictors mask to 64 bits; out-of-range values fall back
+    to the scalar loop rather than wrapping differently).
+    """
+    np = _np
+    if np is None:
+        return None
+    count = len(actuals)
+    try:
+        values = np.fromiter(
+            (prediction.value for prediction in predictions),
+            dtype=np.uint64,
+            count=count,
+        )
+        actual_column = np.fromiter(actuals, dtype=np.uint64, count=count)
+    except (AttributeError, OverflowError, ValueError):
+        # A None prediction or a value outside uint64: scalar loop territory.
+        return None
+    confident = np.fromiter(
+        (prediction.confident for prediction in predictions),
+        dtype=np.bool_,
+        count=count,
+    )
+    correct = values == actual_column
+    correct_used = int(np.count_nonzero(correct & confident))
+    incorrect_used = int(np.count_nonzero(confident)) - correct_used
+    unused_correct = int(np.count_nonzero(correct & ~confident))
+    return correct_used, incorrect_used, unused_correct

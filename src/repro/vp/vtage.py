@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bpu.history import FoldedRegisterFile, GlobalHistory
+from repro.bpu.history import FoldedRegisterFile, GlobalHistory, fold_bits
 from repro.errors import ConfigurationError
 from repro.vp.base import ValuePredictor, VPrediction
 from repro.vp.confidence import DeterministicRandom, FPCPolicy, PAPER_FPC_VECTOR
@@ -66,11 +66,14 @@ class _VTAGEMeta:
     """
 
     pc: int
-    folds: tuple[int, ...]
+    folds: tuple
     provider: int  # -1 = base component, otherwise tagged component rank (0-based)
     provider_index: int
     provider_tag: int
     base_index: int
+    #: Raw history bits at lookup time; ``None`` holes in ``folds`` (lazily-dormant
+    #: registers) are re-folded from this on demand.
+    bits: int = 0
 
 
 class _TaggedEntry:
@@ -182,7 +185,8 @@ class VTAGEPredictor(ValuePredictor):
         registers = self._fold_registers
         if registers is None or registers.history is not history:
             registers = history.folded_registers(
-                self.history_lengths + self.history_lengths, self._fold_widths
+                self.history_lengths + self.history_lengths, self._fold_widths,
+                lazy=True,
             )
             self._fold_registers = registers
         return registers.folds
@@ -205,7 +209,8 @@ class VTAGEPredictor(ValuePredictor):
         registers = self._fold_registers
         if registers is None or registers.history is not history:
             registers = history.folded_registers(
-                self.history_lengths + self.history_lengths, self._fold_widths
+                self.history_lengths + self.history_lengths, self._fold_widths,
+                lazy=True,
             )
             self._fold_registers = registers
         folds = registers.folds
@@ -242,6 +247,7 @@ class VTAGEPredictor(ValuePredictor):
             provider_index,
             provider_tag,
             base_index,
+            history._bits,
         )
         if provider_entry is not None:
             return provider_entry.value, provider_entry.confidence >= self._saturation, meta
@@ -278,7 +284,10 @@ class VTAGEPredictor(ValuePredictor):
         if rank == meta.provider:
             return meta.provider_index
         index_mixes, _, _ = self._pc_mixes(meta.pc)
-        return (index_mixes[rank] ^ meta.folds[rank]) & self._tagged_mask
+        fold = meta.folds[rank]
+        if fold is None:  # register was dormant at lookup — re-fold from raw bits
+            fold = fold_bits(meta.bits, self.history_lengths[rank], self._index_width)
+        return (index_mixes[rank] ^ fold) & self._tagged_mask
 
     def _meta_tag(self, meta: _VTAGEMeta, rank: int) -> int:
         """Re-derive the component tag the lookup for ``meta`` would have used."""
@@ -286,6 +295,8 @@ class VTAGEPredictor(ValuePredictor):
             return meta.provider_tag
         _, tag_mixes, _ = self._pc_mixes(meta.pc)
         fold = meta.folds[self.num_components + rank]
+        if fold is None:  # register was dormant at lookup — re-fold from raw bits
+            fold = fold_bits(meta.bits, self.history_lengths[rank], self._tag_widths[rank])
         return (tag_mixes[rank] ^ fold) & self._tag_masks[rank]
 
     def _allocate(self, meta: _VTAGEMeta, actual: int) -> None:
@@ -296,6 +307,9 @@ class VTAGEPredictor(ValuePredictor):
         folds = meta.folds
         tagged_mask = self._tagged_mask
         components = self._components
+        bits = meta.bits
+        lengths = self.history_lengths
+        index_width = self._index_width
         # One fused probe pass over the longer-history components only, re-deriving
         # each index from the meta's fold snapshot (identical to the lookup's).
         # Only the first two candidates matter (the tie-break picks between them,
@@ -304,7 +318,10 @@ class VTAGEPredictor(ValuePredictor):
         candidate_count = 0
         first = second = None
         for rank in range(start, num_components):
-            index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
+            fold = folds[rank]
+            if fold is None:  # dormant register at lookup time
+                fold = fold_bits(bits, lengths[rank], index_width)
+            index = (index_mixes[rank] ^ fold) & tagged_mask
             entry = components[rank][index]
             if entry is None or not entry.valid or entry.useful == 0:
                 if candidate_count == 0:
@@ -318,7 +335,10 @@ class VTAGEPredictor(ValuePredictor):
             # Age the useful bits of all longer-history victims, TAGE-style
             # (rare path: re-probe the same indices).
             for rank in range(start, num_components):
-                index = (index_mixes[rank] ^ folds[rank]) & tagged_mask
+                fold = folds[rank]
+                if fold is None:
+                    fold = fold_bits(bits, lengths[rank], index_width)
+                index = (index_mixes[rank] ^ fold) & tagged_mask
                 entry = components[rank][index]
                 if entry is not None and entry.useful > 0:
                     entry.useful -= 1
@@ -331,6 +351,13 @@ class VTAGEPredictor(ValuePredictor):
             choice_entry = _TaggedEntry()
             components[choice][choice_index] = choice_entry
             self._component_sizes[choice] += 1
+            if self._component_sizes[choice] == 1:
+                # First entry in this component: wake its lazily-dormant folded
+                # registers so subsequent lookups read live folds.
+                registers = self._fold_registers
+                if registers is not None:
+                    registers.activate(choice)
+                    registers.activate(num_components + choice)
         choice_entry.valid = True
         choice_entry.tag = self._meta_tag(meta, choice)
         choice_entry.value = actual

@@ -1,0 +1,131 @@
+"""Property test: the columnar pool tracks the object-record pool in lockstep.
+
+Hypothesis drives one random alloc/mutate/squash/retire/promote schedule into
+both an :class:`InflightOpPool` (object records, the reference) and a
+:class:`ColumnarInflightOpPool` (slot-view records over parallel columns).
+After every step, every live record pair must agree on every field that the
+columnar backend relocated into a column — which pins down the property/bit
+mapping, the recycle reset discipline (``_init``), the ``wake_gen`` bump
+parity, and the free-list/retirement-barrier bookkeeping shared through the
+base class.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.isa.microop import MicroOp
+from repro.isa.opcode import Opcode
+from repro.isa.trace import DynInst
+from repro.ooo.inflight import (
+    COLUMN_FIELDS,
+    FLAG_FIELDS,
+    ColumnarInflightOpPool,
+    InflightOpPool,
+)
+
+_OPCODES = (Opcode.ADD, Opcode.LD, Opcode.ST, Opcode.BEQ, Opcode.NOP)
+
+_acquire = st.tuples(
+    st.just("acquire"), st.sampled_from(range(len(_OPCODES))), st.integers(0, 2**20)
+)
+_set_int = st.tuples(
+    st.just("set_int"),
+    st.sampled_from(sorted(COLUMN_FIELDS)),
+    st.integers(-1, 2**40),
+    st.integers(0, 2**32),  # live-record selector
+)
+_set_flag = st.tuples(
+    st.just("set_flag"),
+    st.sampled_from(sorted(FLAG_FIELDS)),
+    st.booleans(),
+    st.integers(0, 2**32),
+)
+_squash = st.tuples(st.just("squash"), st.integers(0, 2**32))
+_retire = st.tuples(st.just("retire"), st.integers(0, 2**32))
+_promote = st.tuples(st.just("promote"), st.booleans())
+
+_schedule = st.lists(
+    st.one_of(_acquire, _set_int, _set_flag, _squash, _retire, _promote),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _uop(opcode_index: int) -> MicroOp:
+    opcode = _OPCODES[opcode_index]
+    if opcode is Opcode.ADD:
+        return MicroOp(opcode, dst=1, srcs=(2, 3))
+    if opcode is Opcode.LD:
+        return MicroOp(opcode, dst=1, srcs=(2,))
+    if opcode is Opcode.ST:
+        return MicroOp(opcode, srcs=(1, 2))
+    if opcode is Opcode.BEQ:
+        return MicroOp(opcode, srcs=(1, 2), target="loop")
+    return MicroOp(opcode)
+
+
+def _assert_lockstep(reference: InflightOpPool, columnar: ColumnarInflightOpPool, live):
+    assert columnar.allocated == reference.allocated
+    assert columnar.free_count == reference.free_count
+    assert columnar.deferred_count == reference.deferred_count
+    pool = columnar
+    for ref_op, col_op in live:
+        assert col_op.slot == ref_op.slot
+        for field in COLUMN_FIELDS:
+            assert getattr(col_op, field) == getattr(ref_op, field), field
+        for field in FLAG_FIELDS:
+            assert getattr(col_op, field) == getattr(ref_op, field), field
+        # The tracer/metrics/batch-kernel mirror columns track the record.
+        slot = col_op.slot
+        assert pool.c_seq[slot] == ref_op.seq
+        assert pool.c_pc[slot] == ref_op.pc
+        assert pool.c_hot[slot] == ref_op.uop.hot_mask
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=_schedule)
+def test_columnar_pool_tracks_object_pool_in_lockstep(schedule):
+    reference = InflightOpPool()
+    columnar = ColumnarInflightOpPool()
+    live: list[tuple] = []  # (reference record, columnar record) pairs
+    seq = 0
+    max_seq = 0
+    for command in schedule:
+        kind = command[0]
+        if kind == "acquire":
+            _, opcode_index, pc = command
+            dyn = DynInst(seq=seq, pc=pc, uop=_uop(opcode_index))
+            max_seq = seq
+            seq += 1
+            live.append((reference.acquire(dyn), columnar.acquire(dyn)))
+        elif kind == "set_int" and live:
+            _, field, value, selector = command
+            ref_op, col_op = live[selector % len(live)]
+            setattr(ref_op, field, value)
+            setattr(col_op, field, value)
+        elif kind == "set_flag" and live:
+            _, field, value, selector = command
+            ref_op, col_op = live[selector % len(live)]
+            setattr(ref_op, field, value)
+            setattr(col_op, field, value)
+        elif kind == "squash" and live:
+            _, selector = command
+            ref_op, col_op = live.pop(selector % len(live))
+            ref_op.squashed = True
+            col_op.squashed = True
+            reference.release(ref_op)
+            columnar.release(col_op)
+        elif kind == "retire" and live:
+            _, selector = command
+            ref_op, col_op = live.pop(selector % len(live))
+            reference.retire(ref_op, max_seq)
+            columnar.retire(col_op, max_seq)
+        elif kind == "promote":
+            _, drain_all = command
+            oldest = None if (drain_all or not live) else min(p[0].seq for p in live)
+            reference.promote(oldest)
+            columnar.promote(oldest)
+        _assert_lockstep(reference, columnar, live)

@@ -1,0 +1,78 @@
+"""Unit tests for the opt-in numpy batch kernels (``repro.ooo.soa_batch``)."""
+
+import pytest
+
+from repro.isa.microop import MicroOp
+from repro.isa.opcode import Opcode
+from repro.isa.trace import DynInst
+from repro.ooo import inflight, soa_batch
+from repro.ooo.inflight import ColumnarInflightOpPool
+from repro.ooo.soa_batch import (
+    batch_available,
+    drain_completions_batch,
+    record_outcome_counts,
+)
+from repro.vp.base import PredictorStatistics, VPrediction
+
+pytestmark = pytest.mark.skipif(not batch_available(), reason="numpy unavailable")
+
+
+def test_flag_constants_mirror_inflight():
+    """soa_batch cannot import inflight (layering), so it mirrors the flag bits;
+    this is the sync assertion the mirror comment promises."""
+    assert soa_batch.F_EXECUTED == inflight.F_EXECUTED
+    assert soa_batch.F_SQUASHED == inflight.F_SQUASHED
+    assert soa_batch.F2_IN_COMPLETION_WHEEL == inflight.F2_IN_COMPLETION_WHEEL
+
+
+def _pooled(pool, seq, uop):
+    op = pool.acquire(DynInst(seq=seq, pc=seq * 4, uop=uop))
+    op.in_completion_wheel = True
+    return op
+
+
+def test_drain_kernel_marks_whole_list_executed():
+    pool = ColumnarInflightOpPool()
+    ops = [_pooled(pool, seq, MicroOp(Opcode.ADD, dst=1, srcs=(2, 3))) for seq in range(10)]
+    assert drain_completions_batch(pool, ops)
+    for op in ops:
+        assert op.executed
+        assert not op.in_completion_wheel
+
+
+def test_drain_kernel_refuses_stores_and_squashed_untouched():
+    pool = ColumnarInflightOpPool()
+    with_store = [
+        _pooled(pool, 0, MicroOp(Opcode.ADD, dst=1, srcs=(2, 3))),
+        _pooled(pool, 1, MicroOp(Opcode.ST, srcs=(1, 2))),
+    ]
+    assert not drain_completions_batch(pool, with_store)
+    squashed = [_pooled(pool, 2, MicroOp(Opcode.ADD, dst=1, srcs=(2, 3)))]
+    squashed[0].squashed = True
+    assert not drain_completions_batch(pool, squashed)
+    # Refusal means *nothing* was mutated — the scalar loop still owns the drain.
+    for op in with_store + squashed:
+        assert not op.executed
+        assert op.in_completion_wheel
+
+
+def test_outcome_counts_match_scalar_record_outcome():
+    predictions = [
+        VPrediction(value=7, confident=True, source="t"),
+        VPrediction(value=7, confident=False, source="t"),
+        VPrediction(value=9, confident=True, source="t"),
+        VPrediction(value=9, confident=False, source="t"),
+    ]
+    actuals = [7, 7, 7, 7]
+    counts = record_outcome_counts(actuals, predictions)
+    stats = PredictorStatistics()
+    for prediction, actual in zip(predictions, actuals):
+        stats.record_outcome(prediction, actual)
+    assert counts == (stats.correct_used, stats.incorrect_used, stats.unused_correct)
+
+
+def test_outcome_counts_fall_back_on_none_and_oversized_values():
+    good = VPrediction(value=1, confident=True, source="t")
+    assert record_outcome_counts([1, 2], [good, None]) is None
+    huge = VPrediction(value=1 << 70, confident=True, source="t")
+    assert record_outcome_counts([1, 2], [good, huge]) is None

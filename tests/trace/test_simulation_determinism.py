@@ -11,7 +11,11 @@ Three hard invariants are enforced here:
   4-configuration × 4-workload grid the throughput harness measures;
 * **dependency-driven wake-up** — the consumer-list issue-queue
   (``REPRO_WAKEUP_LISTS``, default on) must produce results byte-identical to the
-  scan-based reference IQ (``REPRO_WAKEUP_LISTS=0``) across the same full grid.
+  scan-based reference IQ (``REPRO_WAKEUP_LISTS=0``) across the same full grid;
+* **structure-of-arrays backend** — the columnar pool + SoA stage loops
+  (``REPRO_SOA=1``, opt-in) and the numpy batch kernels on top of them
+  (``REPRO_SOA_BATCH=1``) must produce results byte-identical to the default
+  object-record backend across the same full grid.
 """
 
 import json
@@ -20,6 +24,7 @@ import pytest
 
 from repro.campaign.executor import simulate_cell
 from repro.campaign.spec import CampaignCell
+from repro.ooo.inflight import SOA_BATCH_ENV_VAR, SOA_ENV_VAR
 from repro.ooo.issue_queue import WAKEUP_ENV_VAR
 from repro.pipeline.config import named_config
 from repro.pipeline.simulator import EVENT_DRIVEN_ENV_VAR
@@ -196,6 +201,67 @@ def test_wakeup_lists_off_under_cycle_stepping_matches_default(monkeypatch):
     monkeypatch.setenv(EVENT_DRIVEN_ENV_VAR, "0")
     reference = simulate_cell(cell).to_dict()
     assert fast == reference
+
+
+def _soa_grid_dicts(monkeypatch, *, soa: bool, batch: bool = False) -> dict[str, dict]:
+    if soa:
+        monkeypatch.setenv(SOA_ENV_VAR, "1")
+    else:
+        monkeypatch.delenv(SOA_ENV_VAR, raising=False)
+    if batch:
+        monkeypatch.setenv(SOA_BATCH_ENV_VAR, "1")
+    else:
+        monkeypatch.delenv(SOA_BATCH_ENV_VAR, raising=False)
+    out = {}
+    for config_name in EVENT_GRID_CONFIGS:
+        for workload_name in EVENT_GRID_WORKLOADS:
+            cell = CampaignCell(
+                config=named_config(config_name),
+                workload_name=workload_name,
+                max_uops=MAX_UOPS,
+                warmup_uops=WARMUP_UOPS,
+            )
+            out[cell.describe()] = simulate_cell(cell).to_dict()
+    return out
+
+
+def test_soa_grid_is_byte_identical_to_object_reference(monkeypatch):
+    """The columnar backend — and its numpy batch kernels — are invisible across
+    the full 4 × 4 grid.
+
+    One reference sweep (object-record pool, the default), then ``REPRO_SOA=1``
+    and ``REPRO_SOA=1`` + ``REPRO_SOA_BATCH=1``: every timing counter, predictor
+    statistic and squash/replay artefact must survive the column round-trip and
+    the vectorised drain/validation kernels byte-for-byte.
+    """
+    monkeypatch.delenv(TRACE_STORE_ENV_VAR, raising=False)
+    reference = json.dumps(_soa_grid_dicts(monkeypatch, soa=False), sort_keys=True)
+    columnar = json.dumps(_soa_grid_dicts(monkeypatch, soa=True), sort_keys=True)
+    assert columnar == reference
+    batched = json.dumps(
+        _soa_grid_dicts(monkeypatch, soa=True, batch=True), sort_keys=True
+    )
+    assert batched == reference
+
+
+def test_soa_under_scan_iq_matches_default(monkeypatch):
+    """SoA composed with the scan-based reference IQ (``REPRO_WAKEUP_LISTS=0``)
+    still lands in the same equivalence class — the columnar stage loops cover
+    both issue disciplines."""
+    monkeypatch.delenv(TRACE_STORE_ENV_VAR, raising=False)
+    cell = CampaignCell(
+        config=named_config("EOLE_4_64"),
+        workload_name="gcc",
+        max_uops=MAX_UOPS,
+        warmup_uops=WARMUP_UOPS,
+    )
+    monkeypatch.delenv(SOA_ENV_VAR, raising=False)
+    monkeypatch.delenv(WAKEUP_ENV_VAR, raising=False)
+    default = simulate_cell(cell).to_dict()
+    monkeypatch.setenv(SOA_ENV_VAR, "1")
+    monkeypatch.setenv(WAKEUP_ENV_VAR, "0")
+    combined = simulate_cell(cell).to_dict()
+    assert combined == default
 
 
 @pytest.fixture(autouse=True)
