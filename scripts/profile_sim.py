@@ -29,6 +29,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.ooo.inflight import SOA_BATCH_ENV_VAR, SOA_ENV_VAR  # noqa: E402
 from repro.pipeline.config import NAMED_CONFIGS, named_config  # noqa: E402
+from repro.pipeline.multi_replay import MultiSimulator, PlaneSpec  # noqa: E402
 from repro.pipeline.simulator import EVENT_DRIVEN_ENV_VAR, Simulator, simulate  # noqa: E402
 from repro.trace.cache import shared_trace_cache  # noqa: E402
 from repro.workloads.suite import SUITE_ORDER, workload  # noqa: E402
@@ -190,6 +191,11 @@ SORT_KEYS = sorted(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--config", default="EOLE_4_64", choices=sorted(NAMED_CONFIGS))
+    parser.add_argument(
+        "--configs", default=None, metavar="A,B,C",
+        help="comma-separated named configs profiled as ONE single-pass "
+        "multi-replay (repro.pipeline.multi_replay) instead of --config",
+    )
     parser.add_argument("--workload", default="gcc", choices=list(SUITE_ORDER))
     parser.add_argument("--max-uops", type=int, default=12000)
     parser.add_argument("--warmup-uops", type=int, default=3000)
@@ -231,28 +237,57 @@ def main(argv: list[str] | None = None) -> int:
     if args.backend is not None:
         os.environ[SOA_ENV_VAR] = "1" if args.backend == "soa" else "0"
 
-    config = named_config(args.config)
+    if args.configs:
+        config_names = [name.strip() for name in args.configs.split(",") if name.strip()]
+        unknown = sorted(set(config_names) - set(NAMED_CONFIGS))
+        if unknown:
+            parser.error(f"unknown --configs names: {', '.join(unknown)}")
+        configs = [named_config(name) for name in config_names]
+    else:
+        config_names = [args.config]
+        configs = [named_config(args.config)]
     wl = workload(args.workload)
+
+    def acquire_trace():
+        return shared_trace_cache.trace_for_many(
+            wl, [(args.max_uops, config) for config in configs]
+        )
+
     if not args.include_capture:
-        trace = shared_trace_cache.trace_for(wl, args.max_uops, config)
+        trace = acquire_trace()
         trace.instructions()  # materialise outside the profiled region
+
+    def run_multi(factory):
+        multi = MultiSimulator(
+            [PlaneSpec(config, args.max_uops, args.warmup_uops) for config in configs],
+            wl.program,
+            workload_name=wl.name,
+            trace=trace,
+            simulator_factory=factory,
+        )
+        return multi, multi.run()
 
     if args.stage_times:
         if args.include_capture:
             shared_trace_cache.clear()
-            trace = shared_trace_cache.trace_for(wl, args.max_uops, config)
-        simulator = StageTimedSimulator(
-            config,
-            wl.program,
-            max_uops=args.max_uops,
-            warmup_uops=args.warmup_uops,
-            workload_name=wl.name,
-            trace=trace,
-        )
-        result = simulator.run()
+            trace = acquire_trace()
+        multi, results = run_multi(StageTimedSimulator)
+        planes = multi.planes
+        # One breakdown for the whole pass: per-stage seconds/calls summed over
+        # the planes (a single-config run is just the 1-plane special case).
+        stage_seconds = {
+            stage: sum(plane.stage_seconds[stage] for plane in planes)
+            for stage in StageTimedSimulator.STAGES
+        }
+        stage_calls = {
+            stage: sum(plane.stage_calls[stage] for plane in planes)
+            for stage in StageTimedSimulator.STAGES
+        }
+        total = sum(stage_seconds.values())
         if args.format == "json":
             payload = {
-                "config": args.config,
+                "config": args.configs if args.configs else args.config,
+                "configs": config_names,
                 "workload": args.workload,
                 "max_uops": args.max_uops,
                 "warmup_uops": args.warmup_uops,
@@ -260,37 +295,75 @@ def main(argv: list[str] | None = None) -> int:
                 # The backend the run actually used (the simulator resolves the
                 # env switches at construction; _soa_batch also folds in numpy
                 # availability), so dashboards can split regressions by backend.
-                "backend": "soa" if simulator._soa else "object",
-                "soa_batch": bool(simulator._soa_batch),
-                "ipc": result.ipc,
-                **simulator.report_dict(),
+                "backend": "soa" if planes[0]._soa else "object",
+                "soa_batch": bool(planes[0]._soa_batch),
+                # Replay shape, same dashboard-attribution role as backend:
+                # "multi" = one single-pass MultiSimulator over replay_width
+                # config planes, "serial" = the classic one-config profile.
+                "replay_mode": "multi" if args.configs else "serial",
+                "replay_width": len(configs),
+                "ipc": {
+                    name: result.ipc for name, result in zip(config_names, results)
+                }
+                if args.configs
+                else results[0].ipc,
+                "stages": {
+                    stage: {
+                        "seconds": stage_seconds[stage],
+                        "calls": stage_calls[stage],
+                        "share": stage_seconds[stage] / total if total else 0.0,
+                    }
+                    for stage in StageTimedSimulator.STAGES
+                },
+                "total_seconds": total,
             }
             print(json.dumps(payload, indent=2, sort_keys=True))
         else:
-            print(simulator.report())
-            print(result.summary())
+            if args.configs:
+                lines = [
+                    f"per-stage cumulative wall clock across {len(planes)} "
+                    "multi-replay planes (instrumented):"
+                ]
+                for stage in StageTimedSimulator.STAGES:
+                    share = 100.0 * stage_seconds[stage] / total if total else 0.0
+                    lines.append(
+                        f"  {stage:12s} {stage_seconds[stage]:8.4f}s  {share:5.1f}%  "
+                        f"({stage_calls[stage]} calls)"
+                    )
+                lines.append(f"  {'total':12s} {total:8.4f}s")
+                print("\n".join(lines))
+            else:
+                print(planes[0].report())
+            for result in results:
+                print(result.summary())
         return 0
 
     profiler = cProfile.Profile()
     profiler.enable()
     if args.include_capture:
         shared_trace_cache.clear()
-        trace = shared_trace_cache.trace_for(wl, args.max_uops, config)
-    result = simulate(
-        config,
-        wl.program,
-        max_uops=args.max_uops,
-        warmup_uops=args.warmup_uops,
-        workload_name=wl.name,
-        trace=trace,
-    )
+        trace = acquire_trace()
+    if args.configs:
+        _, results = run_multi(Simulator)
+    else:
+        results = [
+            simulate(
+                configs[0],
+                wl.program,
+                max_uops=args.max_uops,
+                warmup_uops=args.warmup_uops,
+                workload_name=wl.name,
+                trace=trace,
+            )
+        ]
     profiler.disable()
 
     stats = pstats.Stats(profiler)
     if args.dump:
         stats.dump_stats(args.dump)
     stats.sort_stats(args.sort).print_stats(args.limit)
-    print(result.summary())
+    for result in results:
+        print(result.summary())
     return 0
 
 

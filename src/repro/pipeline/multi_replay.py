@@ -1,0 +1,165 @@
+"""Single-pass multi-config replay: one captured trace through N configurations.
+
+Design-space sweeps replay the *same* workload trace through many pipeline
+configurations (issue width, IQ size, VP port/bank counts — every figure grid of
+the paper has this shape).  :class:`MultiSimulator` runs one such sweep axis as a
+single pass over the trace:
+
+* **one decode, N consumers** — the shared :class:`~repro.trace.encoding.CapturedTrace`
+  is materialised once (and captured long enough for the *deepest* fetch-ahead
+  window in the batch, see :meth:`repro.trace.cache.TraceCache.trace_for_many`),
+  so a batch never pays the serial path's re-capture ratchet when a later config
+  needs a longer trace;
+* **per-config planes** — each configuration owns a full :class:`Simulator`
+  (pool columns, IQ/ROB/LSQ/PRF occupancy, VP/BPU predictor tables, event
+  wheel).  Planes never share timing or predictor state: a predictor's table
+  contents at the fetch of µ-op *j* depend on how many older µ-ops have already
+  *committed* (training happens at commit), which is timing- and therefore
+  config-dependent — any cross-plane sharing of lookups would break the
+  byte-identity contract.  Independence is what makes the engine bit-identical
+  to serial replay *by construction*;
+* **min-cycle windowed scheduling** — a shared scheduler repeatedly advances the
+  least-advanced plane by a bounded cycle window (:meth:`Simulator.advance`), so
+  all planes walk the same region of the trace together (one pass, shared
+  ``DynInst`` locality) while each plane's own event wheel keeps cycle-skipping
+  inside its window;
+* **one gc span** — the collector is disabled once around all planes instead of
+  once per simulation.
+
+``REPRO_MULTI_REPLAY=1`` opts the execution layers (campaign executor, grid
+runner) into routing same-workload cell groups through this engine;
+``REPRO_MULTI_REPLAY_WIDTH`` caps how many configurations share one pass.  The
+serial per-cell path remains the byte-identical reference — the same
+kill-switch discipline as ``REPRO_EVENT_DRIVEN`` / ``REPRO_WAKEUP_LISTS`` /
+``REPRO_SOA`` (see docs/performance.md for the honest measurement of what the
+single pass does and does not buy).
+"""
+
+from __future__ import annotations
+
+import gc
+import heapq
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.simulator import Simulator
+from repro.pipeline.stats import SimulationResult
+
+#: Environment variable: ``1`` routes same-workload cell groups through
+#: :class:`MultiSimulator` (opt-in; the serial path is the reference).
+MULTI_REPLAY_ENV_VAR = "REPRO_MULTI_REPLAY"
+
+#: Environment variable: maximum configurations per multi-replay pass
+#: (``0``/unset = no cap — all configs of a batch share one pass).
+MULTI_REPLAY_WIDTH_ENV_VAR = "REPRO_MULTI_REPLAY_WIDTH"
+
+#: Cycles a plane advances per scheduler turn.  Large enough that the per-turn
+#: bookkeeping (heap push/pop, perf_counter reads, loop-local re-hoisting)
+#: amortises to noise, small enough that planes stay inside the same region of
+#: the shared trace (a 2500-µ-op test cell spans a few thousand cycles).
+DEFAULT_WINDOW = 4096
+
+
+def multi_replay_enabled() -> bool:
+    """True when ``REPRO_MULTI_REPLAY`` opts into the multi-config replay engine."""
+    return os.environ.get(MULTI_REPLAY_ENV_VAR, "0").lower() in ("1", "on", "true")
+
+
+def multi_replay_width() -> int:
+    """Configs-per-pass cap (env ``REPRO_MULTI_REPLAY_WIDTH``; 0 = uncapped)."""
+    env = os.environ.get(MULTI_REPLAY_WIDTH_ENV_VAR)
+    if not env:
+        return 0
+    return max(1, int(env))
+
+
+@dataclass(frozen=True)
+class PlaneSpec:
+    """One configuration plane of a multi-replay pass."""
+
+    config: PipelineConfig
+    max_uops: int
+    warmup_uops: int = 0
+
+
+class MultiSimulator:
+    """Replay one workload trace through N configuration planes in one pass.
+
+    ``specs`` orders the planes; :meth:`run` returns one
+    :class:`SimulationResult` per spec in the same order, each byte-identical to
+    what a serial ``Simulator(spec.config, ...).run()`` over the same trace
+    produces.  ``make_state`` supplies a *fresh* architectural state per plane
+    for the ``trace=None`` inline-emulation path (each plane then runs its own
+    emulator, exactly like serial cells do); ``simulator_factory`` lets
+    instrumented callers substitute a ``Simulator`` subclass (the profiler's
+    stage-timing wrapper).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[PlaneSpec],
+        program,
+        *,
+        workload_name: str | None = None,
+        trace=None,
+        make_state: Callable | None = None,
+        window: int = DEFAULT_WINDOW,
+        simulator_factory: type[Simulator] = Simulator,
+    ) -> None:
+        if not specs:
+            raise ValueError("MultiSimulator needs at least one PlaneSpec")
+        if window < 1:
+            raise ValueError("scheduler window must be at least one cycle")
+        self.window = window
+        self.planes: list[Simulator] = [
+            simulator_factory(
+                spec.config,
+                program,
+                max_uops=spec.max_uops,
+                warmup_uops=spec.warmup_uops,
+                arch_state=make_state() if trace is None and make_state else None,
+                workload_name=workload_name,
+                trace=trace,
+            )
+            for spec in specs
+        ]
+        #: Per-plane simulation wall clock (scheduler/capture overhead excluded),
+        #: accumulated across scheduler turns — the campaign executor's per-cell
+        #: telemetry attribution.
+        self.plane_seconds: list[float] = [0.0] * len(self.planes)
+
+    def run(self) -> list[SimulationResult]:
+        """Advance every plane to completion; results in plane (spec) order."""
+        planes = self.planes
+        plane_seconds = self.plane_seconds
+        window = self.window
+        perf = time.perf_counter
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            # Min-cycle heap: always advance the least-advanced plane, so the
+            # whole batch sweeps the trace front-to-back together.  The index
+            # tiebreak keeps plane order deterministic (cosmetic only — planes
+            # are independent, so *any* schedule produces identical results).
+            heap = [
+                (sim.cycle, index)
+                for index, sim in enumerate(planes)
+                if not sim._finished
+            ]
+            heapq.heapify(heap)
+            while heap:
+                cycle, index = heapq.heappop(heap)
+                sim = planes[index]
+                started = perf()
+                finished = sim.advance(cycle + window)
+                plane_seconds[index] += perf() - started
+                if not finished:
+                    heapq.heappush(heap, (sim.cycle, index))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return [sim.result() for sim in planes]

@@ -225,6 +225,9 @@ class Simulator:
         self._fetch_resume_cycle = 0
         self._fetch_blocked_on: InflightOp | None = None
         self._finished = False
+        self._deadlock_limit = (
+            max_uops * self._DEADLOCK_CYCLES_PER_UOP + self._DEADLOCK_SLACK_CYCLES
+        )
 
         # Pooled µ-op records: fetch acquires, retire/squash give back (retire goes
         # through a barrier — younger IQ entries keep reading their producers).
@@ -272,9 +275,6 @@ class Simulator:
     # ================================================================== public API
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return its result."""
-        deadlock_limit = (
-            self.max_uops * self._DEADLOCK_CYCLES_PER_UOP + self._DEADLOCK_SLACK_CYCLES
-        )
         # The simulation allocates no reference cycles on its hot paths (records are
         # pooled, prediction/outcome objects are acyclic), so the generational
         # collector's periodic heap walks are pure overhead while it runs.
@@ -282,19 +282,45 @@ class Simulator:
         if gc_was_enabled:
             gc.disable()
         try:
-            if self._event_driven:
-                if self._soa:
-                    self._run_event_driven_soa(deadlock_limit)
-                else:
-                    self._run_event_driven(deadlock_limit)
-            else:
-                while not self._finished:
-                    self._step()
-                    if self.cycle > deadlock_limit:
-                        self._raise_deadlock(deadlock_limit)
+            self.advance()
         finally:
             if gc_was_enabled:
                 gc.enable()
+        return self._build_result()
+
+    def advance(self, stop_cycle: int | None = None) -> bool:
+        """Advance until finished or ``self.cycle >= stop_cycle``; True when done.
+
+        The resumable entry point under the multi-config replay engine
+        (:mod:`repro.pipeline.multi_replay`): every piece of loop state lives on
+        ``self`` and the fused event loops re-hoist their locals on entry, so a
+        sequence of bounded calls walks exactly the state sequence one unbounded
+        call would.  A call may overshoot ``stop_cycle`` by a skipped dead span
+        (the scheduler jumps straight to the next event) — callers that interleave
+        planes must read back ``self.cycle`` rather than assume the bound.
+        Garbage-collection policy belongs to the caller: :meth:`run` disables the
+        collector around a full run, ``MultiSimulator`` once around all planes.
+        """
+        deadlock_limit = self._deadlock_limit
+        # The loops raise before the cycle counter can pass deadlock_limit + 1,
+        # so that horizon doubles as the "no stop" bound.
+        stop = deadlock_limit + 2 if stop_cycle is None else stop_cycle
+        if self._event_driven:
+            if self._soa:
+                self._run_event_driven_soa(deadlock_limit, stop)
+            else:
+                self._run_event_driven(deadlock_limit, stop)
+        else:
+            while not self._finished and self.cycle < stop:
+                self._step()
+                if self.cycle > deadlock_limit:
+                    self._raise_deadlock(deadlock_limit)
+        return self._finished
+
+    def result(self) -> SimulationResult:
+        """The finished run's result (requires :meth:`advance` to have returned True)."""
+        if not self._finished:
+            raise SimulationError("simulation still in flight: advance() it to completion")
         return self._build_result()
 
     def _raise_deadlock(self, deadlock_limit: int) -> None:
@@ -303,8 +329,13 @@ class Simulator:
             f"({self.stats.committed_uops} µ-ops committed): likely deadlock"
         )
 
-    def _run_event_driven(self, deadlock_limit: int) -> None:
+    def _run_event_driven(self, deadlock_limit: int, stop: int) -> None:
         """The event-wheel main loop: step on event cycles, jump over dead spans.
+
+        ``stop`` bounds the walk for resumable multi-plane interleaving
+        (:meth:`advance`); an unbounded run passes the never-reached
+        ``deadlock_limit + 2``, so the extra loop-condition comparison is the
+        entire cost of resumability.
 
         Invariant: a skipped cycle is one where the cycle-stepping loop would only
         have incremented ``stats.cycles`` (and, when dispatch is parked on a
@@ -334,7 +365,7 @@ class Simulator:
         issue = self._issue
         dispatch = self._dispatch
         fetch = self._fetch
-        while not self._finished:
+        while not self._finished and self.cycle < stop:
             # ---- one stepped cycle (the _step reference, guards inlined) ----
             cycle = self.cycle + 1
             self.cycle = cycle
@@ -427,7 +458,7 @@ class Simulator:
             if gap > 0:
                 self._skip_dead_cycles(gap)
 
-    def _run_event_driven_soa(self, deadlock_limit: int) -> None:
+    def _run_event_driven_soa(self, deadlock_limit: int, stop: int) -> None:
         """:meth:`_run_event_driven` over the SoA columns.
 
         Same fused body; the per-cycle reads of the ROB head's executed flag and
@@ -453,7 +484,7 @@ class Simulator:
         issue = self._issue_wakeup_soa if self._wakeup else self._issue
         dispatch = self._dispatch_soa
         fetch = self._fetch_soa
-        while not self._finished:
+        while not self._finished and self.cycle < stop:
             # ---- one stepped cycle (the _step reference, guards inlined) ----
             cycle = self.cycle + 1
             self.cycle = cycle

@@ -1,0 +1,122 @@
+"""MultiSimulator unit behaviour + hypothesis lockstep against the serial engine.
+
+The determinism grid (tests/trace/test_simulation_determinism.py) covers the
+hand-written suite; here hypothesis drives one config plane of the multi engine
+against a serial :class:`Simulator` on *random* programs, and the unit tests pin
+the engine's contract: plane ordering, scheduler windows, the resumable
+``advance`` API, and the env switches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.pipeline.config import PipelineConfig, named_config
+from repro.pipeline.multi_replay import (
+    MULTI_REPLAY_ENV_VAR,
+    MULTI_REPLAY_WIDTH_ENV_VAR,
+    MultiSimulator,
+    PlaneSpec,
+    multi_replay_enabled,
+    multi_replay_width,
+)
+from repro.pipeline.simulator import SimulationError, Simulator
+from repro.trace.cache import shared_trace_cache
+from repro.workloads.generator import RandomProgramGenerator
+from repro.workloads.suite import workload
+
+SEEDS = st.integers(min_value=0, max_value=10_000)
+WINDOWS = st.integers(min_value=1, max_value=2_000)
+
+
+def _small_config(**overrides) -> PipelineConfig:
+    defaults = dict(name="multi_prop", predictor_name="hybrid-small")
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+@settings(max_examples=8, deadline=None)
+@given(SEEDS, WINDOWS)
+def test_lockstep_plane_matches_serial_simulator_on_random_programs(seed, window):
+    """One plane of the multi engine, advanced in arbitrary windows, is
+    byte-identical to a serial run of the same configuration — the resumable
+    loops re-enter without losing or double-counting any state."""
+    program = RandomProgramGenerator(seed).generate(body_ops=25)
+    config = _small_config(value_prediction=True)
+    serial = Simulator(config, program, max_uops=600).run()
+    multi = MultiSimulator(
+        [PlaneSpec(config, 600)], program, window=window
+    )
+    (plane_result,) = multi.run()
+    assert plane_result.to_dict() == serial.to_dict()
+
+
+@settings(max_examples=6, deadline=None)
+@given(SEEDS, WINDOWS)
+def test_lockstep_planes_are_independent_on_random_programs(seed, window):
+    """Two differently shaped planes interleaved over one pass each match their
+    own serial twin — no cross-plane state leaks through the scheduler."""
+    program = RandomProgramGenerator(seed).generate(body_ops=20)
+    narrow = _small_config(name="narrow", issue_width=2, iq_size=16)
+    wide = _small_config(name="wide", value_prediction=True, issue_width=6)
+    serial = [
+        Simulator(config, program, max_uops=500).run().to_dict()
+        for config in (narrow, wide)
+    ]
+    multi = MultiSimulator(
+        [PlaneSpec(narrow, 500), PlaneSpec(wide, 500)], program, window=window
+    )
+    assert [result.to_dict() for result in multi.run()] == serial
+
+
+def test_results_keep_plane_order():
+    wl = workload("gcc")
+    configs = [named_config(name) for name in ("EOLE_4_64", "Baseline_6_64")]
+    trace = shared_trace_cache.trace_for_many(wl, [(800, c) for c in configs])
+    multi = MultiSimulator(
+        [PlaneSpec(config, 800) for config in configs],
+        wl.program,
+        workload_name=wl.name,
+        trace=trace,
+    )
+    results = multi.run()
+    assert [result.config_name for result in results] == [
+        "EOLE_4_64",
+        "Baseline_6_64",
+    ]
+    assert all(result.workload_name == "gcc" for result in results)
+    assert all(seconds > 0 for seconds in multi.plane_seconds)
+    shared_trace_cache.clear()
+
+
+def test_advance_is_resumable_and_result_guards_completion(simple_loop):
+    config = _small_config()
+    reference = Simulator(config, simple_loop, max_uops=400).run()
+    sim = Simulator(config, simple_loop, max_uops=400)
+    with pytest.raises(SimulationError):
+        sim.result()  # nothing has run yet
+    finished = sim.advance(stop_cycle=50)
+    assert not finished and sim.cycle >= 50
+    while not sim.advance(sim.cycle + 64):
+        pass
+    assert sim.result().to_dict() == reference.to_dict()
+
+
+def test_constructor_rejects_empty_and_bad_window(simple_loop):
+    with pytest.raises(ValueError):
+        MultiSimulator([], simple_loop)
+    with pytest.raises(ValueError):
+        MultiSimulator([PlaneSpec(_small_config(), 200)], simple_loop, window=0)
+
+
+def test_env_switches(monkeypatch):
+    monkeypatch.delenv(MULTI_REPLAY_ENV_VAR, raising=False)
+    monkeypatch.delenv(MULTI_REPLAY_WIDTH_ENV_VAR, raising=False)
+    assert not multi_replay_enabled()
+    assert multi_replay_width() == 0
+    monkeypatch.setenv(MULTI_REPLAY_ENV_VAR, "1")
+    monkeypatch.setenv(MULTI_REPLAY_WIDTH_ENV_VAR, "4")
+    assert multi_replay_enabled()
+    assert multi_replay_width() == 4
+    monkeypatch.setenv(MULTI_REPLAY_ENV_VAR, "0")
+    assert not multi_replay_enabled()
