@@ -1,0 +1,153 @@
+"""Distributed-campaign smoke: two workers, one SIGKILL, byte-identical results.
+
+The CI acceptance run for the leased-work-queue coordinator
+(``docs/campaign.md``, *Distributed campaigns*): submit a 4-configuration ×
+4-workload grid to a fresh service directory, run two ``repro-campaign work``
+subprocesses against it, SIGKILL one mid-run, and verify that
+
+* the surviving worker requeues the lapsed lease and completes the grid,
+* no cell failed or went missing, and
+* every stored result is byte-identical (as sorted JSON) to a serial
+  ``run_campaign`` of the same grid in this process.
+
+Exit code 0 on success, 1 on any violation.  Usage::
+
+    PYTHONPATH=src python scripts/distributed_smoke.py [--max-uops 8000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign.coordinator import CampaignService  # noqa: E402
+from repro.campaign.executor import run_campaign  # noqa: E402
+from repro.campaign.spec import Campaign  # noqa: E402
+
+CONFIGS = ("Baseline_6_64", "Baseline_VP_6_64", "EOLE_4_64", "EOLE_6_64")
+WORKLOADS = "gcc,mcf,milc,namd"
+
+
+def spawn_worker(service_dir: Path, worker_id: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.campaign",
+            "work",
+            "--service",
+            str(service_dir),
+            "--worker-id",
+            worker_id,
+            "--poll-seconds",
+            "0.05",
+        ],
+        env={"PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-uops", type=int, default=8000)
+    parser.add_argument("--warmup-uops", type=int, default=2000)
+    parser.add_argument(
+        "--timeout-seconds", type=float, default=600.0, help="overall completion budget"
+    )
+    args = parser.parse_args()
+
+    campaign = Campaign.from_names(
+        CONFIGS,
+        WORKLOADS,
+        max_uops=args.max_uops,
+        warmup_uops=args.warmup_uops,
+        name="distributed-smoke",
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as scratch:
+        service = CampaignService(Path(scratch) / "svc")
+        # lease_width=1 → 16 single-cell leases, so the SIGKILL lands mid-grid
+        # and the survivor demonstrably takes over the victim's leases.
+        leases = service.submit(
+            campaign, lease_seconds=3.0, max_attempts=4, lease_width=1
+        )
+        print(f"submitted {leases} leases for {len(campaign.cells())} cells")
+
+        victim = spawn_worker(service.root, "victim")
+        survivor = spawn_worker(service.root, "survivor")
+        store = service.result_store()
+        try:
+            deadline = time.time() + args.timeout_seconds
+            while time.time() < deadline:
+                store.reload()
+                if len(store) >= 2:
+                    break
+                time.sleep(0.01)
+            else:
+                print("FAIL: workers made no progress", file=sys.stderr)
+                return 1
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+            print(f"SIGKILLed the victim worker with {len(store)} cells stored")
+
+            while time.time() < deadline and not service.queue_complete():
+                time.sleep(0.2)
+            if not service.queue_complete():
+                print("FAIL: queue incomplete within the budget", file=sys.stderr)
+                return 1
+            survivor.wait(timeout=60)
+        finally:
+            for proc in (victim, survivor):
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)
+
+        status = service.status()
+        print(f"fleet finished: {json.dumps(status['lease_states'])}")
+        store.reload()
+        if store.failures():
+            print(f"FAIL: {len(store.failures())} failure rows", file=sys.stderr)
+            return 1
+
+        owners = {
+            store.get_record(cell.fingerprint)["telemetry"]["worker"]
+            for cell in campaign.cells()
+            if store.get_record(cell.fingerprint)
+        }
+        if "survivor" not in owners:
+            print("FAIL: the survivor processed nothing", file=sys.stderr)
+            return 1
+
+        print("running the serial reference grid in-process…")
+        serial = run_campaign(campaign, store=None, workers=1)
+        mismatches = 0
+        for cell in campaign.cells():
+            record = store.get_record(cell.fingerprint)
+            if record is None:
+                print(f"FAIL: missing {cell.describe()}", file=sys.stderr)
+                mismatches += 1
+                continue
+            expected = serial.results[(cell.config.name, cell.workload_name)]
+            if json.dumps(record["result"], sort_keys=True) != json.dumps(
+                expected.to_dict(), sort_keys=True
+            ):
+                print(f"FAIL: result diverges for {cell.describe()}", file=sys.stderr)
+                mismatches += 1
+        if mismatches:
+            return 1
+        print(
+            f"OK: {len(campaign.cells())} cells byte-identical to the serial run "
+            f"(workers seen: {sorted(owners)})"
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

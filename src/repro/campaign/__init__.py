@@ -9,6 +9,8 @@ of the paper into first-class, resumable jobs:
   with load/merge/invalidate semantics (env default: ``REPRO_RESULT_STORE``);
 * :mod:`repro.campaign.executor` — :func:`run_campaign`, sharding cells over worker
   processes (env: ``REPRO_CAMPAIGN_WORKERS``) with per-cell checkpointing and resume;
+* :mod:`repro.campaign.coordinator` — :class:`CampaignService`, the distributed
+  leased work queue over a shared directory (``repro-campaign serve`` / ``work``);
 * :mod:`repro.campaign.progress` — per-cell progress lines with wall-clock ETA;
 * :mod:`repro.campaign.cli` — the ``python -m repro.campaign`` command line.
 
@@ -24,12 +26,22 @@ Quickstart::
     print(outcome.simulated)       # 0 — everything came from the store
 """
 
+from repro.campaign.coordinator import (
+    CampaignService,
+    CoordinationError,
+    Lease,
+    default_worker_id,
+    serve,
+    work_loop,
+)
 from repro.campaign.executor import (
     CampaignOutcome,
     campaign_status,
     default_workers,
+    failure_payload,
     run_campaign,
     simulate_cell,
+    simulate_cells,
 )
 from repro.campaign.progress import ProgressReporter, format_duration
 from repro.campaign.spec import (
@@ -47,16 +59,24 @@ __all__ = [
     "Campaign",
     "CampaignCell",
     "CampaignOutcome",
+    "CampaignService",
+    "CoordinationError",
+    "Lease",
     "ProgressReporter",
     "ResultStore",
     "STORE_ENV_VAR",
     "WORKLOAD_SETS",
     "campaign_status",
     "default_store",
+    "default_worker_id",
     "default_workers",
     "derive_seed",
+    "failure_payload",
     "format_duration",
     "resolve_workload_names",
     "run_campaign",
+    "serve",
     "simulate_cell",
+    "simulate_cells",
+    "work_loop",
 ]

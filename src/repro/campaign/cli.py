@@ -1,6 +1,6 @@
 """Command-line front-end: ``python -m repro.campaign`` (or ``repro-campaign``).
 
-Four subcommands::
+Six subcommands::
 
     run      simulate a (configs × workloads) grid, persisting results to a store
     status   report done/missing cells for a grid against a store (no simulation)
@@ -10,6 +10,11 @@ Four subcommands::
     compact  rewrite the store dropping superseded/corrupt rows (optionally capped
              with --max-mb, evicting oldest rows; REPRO_RESULT_STORE_MAX_MB applies
              the same cap automatically after every append)
+    serve    submit a grid to a shared service directory as leased work and stream
+             progress/telemetry while a worker fleet completes it (optionally
+             spawning --local-workers N on this host)
+    work     run one worker against a service directory: lease cells, heartbeat,
+             simulate, append to the shared store; exits when the queue completes
 
 Examples::
 
@@ -19,6 +24,9 @@ Examples::
         --configs Baseline_6_64,EOLE_4_64 --workloads subset
     python -m repro.campaign report --store results/campaign.jsonl \\
         --baseline Baseline_6_64
+    python -m repro.campaign serve --service /shared/fleet \\
+        --configs Baseline_6_64,EOLE_4_64 --workloads subset --local-workers 2
+    python -m repro.campaign work --service /shared/fleet     # on any fleet host
 """
 
 from __future__ import annotations
@@ -27,8 +35,18 @@ import argparse
 import csv
 import json
 import os
+import subprocess
 import sys
 
+from repro.campaign.coordinator import (
+    DEFAULT_BACKOFF_SECONDS,
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    CampaignService,
+    default_worker_id,
+    serve,
+    work_loop,
+)
 from repro.campaign.executor import campaign_status, default_workers, run_campaign
 from repro.campaign.spec import WORKLOAD_SETS, Campaign
 from repro.campaign.store import MAX_MB_ENV_VAR, STORE_ENV_VAR, ResultStore
@@ -114,6 +132,80 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: env {MAX_MB_ENV_VAR}, else no cap)",
     )
 
+    serve_parser = commands.add_parser(
+        "serve", help="submit a grid to a service directory and stream fleet progress"
+    )
+    _add_grid_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--service", required=True, help="shared service directory (NFS-safe)"
+    )
+    serve_parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=DEFAULT_LEASE_SECONDS,
+        help=f"lease heartbeat deadline (default {DEFAULT_LEASE_SECONDS:.0f}s); a "
+        "worker that stops heartbeating for this long forfeits its lease",
+    )
+    serve_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        help=f"claims per lease before its cells are marked failed "
+        f"(default {DEFAULT_MAX_ATTEMPTS})",
+    )
+    serve_parser.add_argument(
+        "--backoff-seconds",
+        type=float,
+        default=DEFAULT_BACKOFF_SECONDS,
+        help="base of the exponential requeue backoff "
+        f"(default {DEFAULT_BACKOFF_SECONDS:.0f}s)",
+    )
+    serve_parser.add_argument(
+        "--lease-width",
+        type=int,
+        default=None,
+        help="max cells per lease (default: one lease per workload)",
+    )
+    serve_parser.add_argument(
+        "--local-workers",
+        type=int,
+        default=0,
+        help="spawn N `work` subprocesses on this host (default 0: external fleet)",
+    )
+    serve_parser.add_argument(
+        "--poll-seconds", type=float, default=0.5, help="store/queue poll interval"
+    )
+    serve_parser.add_argument(
+        "--timeout-seconds",
+        type=float,
+        default=None,
+        help="give up (exit 2) if the grid is incomplete after this long",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    work_parser = commands.add_parser(
+        "work", help="run one worker against a service directory"
+    )
+    work_parser.add_argument(
+        "--service", required=True, help="shared service directory (NFS-safe)"
+    )
+    work_parser.add_argument(
+        "--worker-id",
+        default=None,
+        help=f"fleet-unique worker name (default host:pid, e.g. {default_worker_id()})",
+    )
+    work_parser.add_argument(
+        "--poll-seconds", type=float, default=0.5, help="claim poll interval"
+    )
+    work_parser.add_argument(
+        "--once", action="store_true", help="process at most one lease, then exit"
+    )
+    work_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-lease progress lines"
+    )
+
     report_parser = commands.add_parser("report", help="tabulate stored results")
     _add_store_argument(report_parser, required=True)
     report_parser.add_argument(
@@ -160,12 +252,104 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for config in campaign.configs:
         print(f"\n{config.name}")
         for name in workload_names:
-            print(f"  {name.ljust(label_width)} IPC={grid[config.name][name].ipc:.3f}")
+            result = grid.get(config.name, {}).get(name)
+            if result is not None:
+                print(f"  {name.ljust(label_width)} IPC={result.ipc:.3f}")
+            else:
+                error = outcome.failed.get((config.name, name), {})
+                print(
+                    f"  {name.ljust(label_width)} FAILED"
+                    f" ({error.get('type', '?')}: {error.get('message', '?')})"
+                )
+    failed_note = f", {outcome.failures} FAILED" if outcome.failed else ""
     print(
         f"\n{outcome.simulated} simulated, {outcome.from_store} from store, "
-        f"{outcome.from_cache} from cache, {outcome.elapsed_seconds:.1f}s elapsed"
+        f"{outcome.from_cache} from cache{failed_note}, "
+        f"{outcome.elapsed_seconds:.1f}s elapsed"
         + (f", store: {store.path}" if store is not None else ", no store (transient)")
     )
+    return 1 if outcome.failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    campaign = _campaign_from_args(args)
+    service = CampaignService(args.service)
+    workers: list[subprocess.Popen] = []
+    try:
+        # Submit before spawning: workers poll until the queue exists, but an
+        # early submit gives them leases on their first claim.
+        service.submit(
+            campaign,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+            backoff_seconds=args.backoff_seconds,
+            lease_width=args.lease_width,
+        )
+        for index in range(args.local_workers):
+            workers.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.campaign",
+                        "work",
+                        "--service",
+                        args.service,
+                        "--worker-id",
+                        f"{default_worker_id()}-local{index}",
+                        "--quiet",
+                    ],
+                )
+            )
+        summary = serve(
+            service,
+            campaign,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+            backoff_seconds=args.backoff_seconds,
+            lease_width=args.lease_width,
+            poll_seconds=args.poll_seconds,
+            progress=not args.quiet,
+            timeout_seconds=args.timeout_seconds,
+        )
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+    failed = summary["failed"]
+    print(
+        f"served {summary['campaign']}: {len(summary['results'])}/{summary['cells']} "
+        f"cells done, {len(failed)} failed, {len(summary['missing'])} missing, "
+        f"{summary['elapsed_seconds']:.1f}s elapsed, store: {service.store_path}"
+    )
+    for row in failed.values():
+        error = row["error"]
+        print(
+            f"  FAILED {row['config']}/{row['workload']}: "
+            f"{error.get('type')}: {error.get('message')}"
+        )
+    return 1 if failed or summary["missing"] else 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    service = CampaignService(args.service)
+    counts = work_loop(
+        service,
+        worker_id=args.worker_id,
+        poll_seconds=args.poll_seconds,
+        once=args.once,
+        progress=not args.quiet,
+    )
+    if not args.quiet:
+        print(
+            f"worker done: {counts['processed']} leases processed, "
+            f"{counts['requeued']} requeued, {counts['lost']} lost"
+        )
     return 0
 
 
@@ -361,6 +545,8 @@ def main(argv: list[str] | None = None) -> int:
         "status": _cmd_status,
         "report": _cmd_report,
         "compact": _cmd_compact,
+        "serve": _cmd_serve,
+        "work": _cmd_work,
     }
     try:
         return handlers[args.command](args)

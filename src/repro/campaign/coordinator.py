@@ -1,0 +1,675 @@
+"""Distributed campaign coordination: a leased work queue over a shared directory.
+
+The single-host executor (:mod:`repro.campaign.executor`) shards cells over a
+``ProcessPoolExecutor``; this module promotes the same grid to a *fleet*: any number
+of worker processes — on one machine or many, sharing the service directory over
+NFS — lease cells, simulate them, and append to one shared
+:class:`~repro.campaign.store.ResultStore`.  There is no network daemon: the
+"coordinator" is the directory itself, and every state transition is a file-lock
+protected atomic rewrite of a small JSON lease record, mirroring how the SPEC2006
+harnesses run ``PrunPool`` job fleets with per-node result files plus an
+aggregation pass.
+
+Service directory layout::
+
+    <service>/
+      campaign.json      # the submitted grid (Campaign.to_spec_dict + queue params)
+      results.jsonl      # the shared ResultStore (fcntl-locked, see store.py)
+      traces/            # shared content-addressed TraceStore: one capture per
+                         # workload per fleet — the lease holder captures, every
+                         # later worker loads
+      queue/
+        <lease>.json     # one lease per same-workload cell group
+      queue.lock         # advisory lock guarding every queue transition
+
+Lease protocol (all transitions under ``queue.lock``):
+
+* ``submit`` creates one *pending* lease per same-workload cell group (grouping by
+  workload keeps one trace capture per lease; ``lease_width`` chunks the group).
+* A worker *claims* an eligible lease — pending with ``not_before`` in the past, or
+  running with a lapsed ``deadline`` (its owner stopped heartbeating: a dead
+  worker's cells are picked up by the next claimer) — by writing itself as
+  ``owner`` with ``deadline = now + lease_seconds`` and ``attempts += 1``.
+* While simulating, the worker *heartbeats*: a daemon thread re-extends the
+  deadline every ``lease_seconds / 3``.  A worker that is SIGKILLed simply stops
+  heartbeating and its lease lapses.
+* On success the worker marks the lease *done*; its results are already in the
+  shared store (appended cell by cell, so even a mid-lease death loses only the
+  in-flight cell).  On a cell error the lease is *requeued* with exponential
+  backoff (``backoff_seconds * 2**(attempts-1)``); cells that already succeeded
+  are skipped on retry via the store.  After ``max_attempts`` the lease is marked
+  *failed* and the missing cells get structured failure rows in the store.
+
+Determinism: cells are self-contained and seed-derived, so a fleet run — whatever
+the interleaving, crashes and retries — produces results byte-identical to a
+serial :func:`~repro.campaign.executor.run_campaign` of the same grid.  Clocks
+only gate liveness (deadlines), never results; multi-host fleets assume loosely
+NTP-synced clocks and a coherent shared filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.campaign.executor import (
+    _replay_groups,
+    _simulate_cell_group,
+    _simulate_one_entry,
+    failure_payload,
+)
+from repro.pipeline.multi_replay import multi_replay_enabled
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import Campaign, CampaignCell
+from repro.campaign.store import ResultStore
+from repro.errors import ReproError
+from repro.pipeline.stats import SimulationResult
+from repro.trace.store import TRACE_STORE_ENV_VAR
+
+try:  # POSIX-only; the queue degrades to lock-free on other platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: Default lease duration: a worker must heartbeat within this window or its lease
+#: is considered abandoned.  Must comfortably exceed the heartbeat interval
+#: (``lease_seconds / 3``); cell durations do not matter — the heartbeat thread
+#: runs concurrently with the simulation.
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: Default bounded-retry budget per lease (claims, including the first).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default base of the exponential requeue backoff.
+DEFAULT_BACKOFF_SECONDS = 1.0
+
+
+def default_worker_id() -> str:
+    """A fleet-unique worker identity: ``host:pid``."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class CoordinationError(ReproError):
+    """A service-directory protocol violation (mismatched resubmission, no grid…)."""
+
+
+@dataclass
+class Lease:
+    """One unit of fleet work: a same-workload group of cell fingerprints."""
+
+    lease_id: str
+    workload: str
+    fingerprints: list[str]
+    state: str = "pending"  # pending | running | done | failed
+    owner: str | None = None
+    deadline_unix: float = 0.0
+    not_before_unix: float = 0.0
+    attempts: int = 0
+    errors: list[dict] | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "lease_id": self.lease_id,
+            "workload": self.workload,
+            "fingerprints": list(self.fingerprints),
+            "state": self.state,
+            "owner": self.owner,
+            "deadline_unix": self.deadline_unix,
+            "not_before_unix": self.not_before_unix,
+            "attempts": self.attempts,
+            "errors": list(self.errors or []),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        return cls(
+            lease_id=data["lease_id"],
+            workload=data["workload"],
+            fingerprints=list(data["fingerprints"]),
+            state=data["state"],
+            owner=data.get("owner"),
+            deadline_unix=data.get("deadline_unix", 0.0),
+            not_before_unix=data.get("not_before_unix", 0.0),
+            attempts=data.get("attempts", 0),
+            errors=list(data.get("errors") or []),
+        )
+
+
+class CampaignService:
+    """A shared-directory campaign coordinator (see the module docstring)."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.queue_dir = self.root / "queue"
+        self.campaign_path = self.root / "campaign.json"
+        self.store_path = self.root / "results.jsonl"
+        self.trace_dir = self.root / "traces"
+        self._campaign: Campaign | None = None
+        self._cells: dict[str, CampaignCell] | None = None
+
+    # ------------------------------------------------------------------ locking
+    @contextmanager
+    def _queue_locked(self):
+        """Hold the queue-wide advisory lock (every lease transition runs inside)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with (self.root / "queue.lock").open("a+", encoding="utf-8") as lock_file:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+            yield
+
+    # ------------------------------------------------------------------ submission
+    def submit(
+        self,
+        campaign: Campaign,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        lease_width: int | None = None,
+    ) -> int:
+        """Publish ``campaign`` to the service directory; returns the lease count.
+
+        Cells are grouped into one lease per workload (chunked by ``lease_width``)
+        so each lease holder captures its workload's trace exactly once and every
+        configuration in the lease replays it — the fleet-level twin of the
+        executor's same-workload batching.  Resubmitting the identical grid is a
+        no-op (a resume); submitting a *different* grid to a non-empty service
+        directory raises.
+        """
+        spec = campaign.to_spec_dict()
+        payload = {
+            "campaign": spec,
+            "queue": {
+                "lease_seconds": lease_seconds,
+                "max_attempts": max_attempts,
+                "backoff_seconds": backoff_seconds,
+            },
+        }
+        with self._queue_locked():
+            if self.campaign_path.exists():
+                existing = json.loads(self.campaign_path.read_text(encoding="utf-8"))
+                if existing["campaign"] != spec:
+                    raise CoordinationError(
+                        f"service {self.root} already holds a different campaign "
+                        f"({existing['campaign'].get('name')!r}); use a fresh directory"
+                    )
+                return len(self.leases())
+            self.queue_dir.mkdir(parents=True, exist_ok=True)
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            self._write_json(self.campaign_path, payload)
+            groups: dict[str, list[CampaignCell]] = {}
+            for cell in campaign.cells():
+                groups.setdefault(cell.workload_name, []).append(cell)
+            count = 0
+            for workload_name, group in groups.items():
+                width = lease_width if lease_width else len(group)
+                for start in range(0, len(group), width):
+                    chunk = group[start : start + width]
+                    lease = Lease(
+                        lease_id=f"{workload_name}-{start // width}",
+                        workload=workload_name,
+                        fingerprints=[cell.fingerprint for cell in chunk],
+                    )
+                    self._write_lease(lease)
+                    count += 1
+            return count
+
+    # ------------------------------------------------------------------ accessors
+    def _read_payload(self) -> dict:
+        if not self.campaign_path.exists():
+            raise CoordinationError(f"service {self.root} has no submitted campaign")
+        return json.loads(self.campaign_path.read_text(encoding="utf-8"))
+
+    def campaign(self) -> Campaign:
+        """The submitted grid, rebuilt from the service directory."""
+        if self._campaign is None:
+            self._campaign = Campaign.from_spec_dict(self._read_payload()["campaign"])
+        return self._campaign
+
+    def queue_params(self) -> dict:
+        """The fleet-wide lease parameters recorded at submission."""
+        return self._read_payload()["queue"]
+
+    def cells_by_fingerprint(self) -> dict[str, CampaignCell]:
+        """Every cell of the submitted grid, keyed by its store fingerprint."""
+        if self._cells is None:
+            self._cells = {cell.fingerprint: cell for cell in self.campaign().cells()}
+        return self._cells
+
+    def result_store(self) -> ResultStore:
+        """A fresh handle on the shared result store."""
+        return ResultStore(self.store_path)
+
+    def leases(self) -> list[Lease]:
+        """Every lease record, sorted by id (point-in-time snapshot)."""
+        if not self.queue_dir.exists():
+            return []
+        leases = []
+        for path in sorted(self.queue_dir.glob("*.json")):
+            try:
+                leases.append(Lease.from_dict(json.loads(path.read_text(encoding="utf-8"))))
+            except (json.JSONDecodeError, KeyError, OSError):
+                continue  # mid-replace read on a non-atomic filesystem; next scan sees it
+        return leases
+
+    def queue_complete(self) -> bool:
+        """True when every lease is terminal (``done`` or ``failed``)."""
+        leases = self.leases()
+        return bool(leases) and all(
+            lease.state in ("done", "failed") for lease in leases
+        )
+
+    def status(self) -> dict:
+        """Queue + store accounting for ``serve`` streaming and CLI status."""
+        leases = self.leases()
+        by_state: dict[str, int] = {}
+        for lease in leases:
+            by_state[lease.state] = by_state.get(lease.state, 0) + 1
+        store = self.result_store()
+        fingerprints = set(self.cells_by_fingerprint())
+        return {
+            "root": str(self.root),
+            "leases": len(leases),
+            "lease_states": by_state,
+            "cells_total": len(fingerprints),
+            "cells_done": sum(1 for fp in fingerprints if fp in store),
+            "cells_failed": sum(
+                1 for fp in fingerprints if store.get_failure(fp) is not None and fp not in store
+            ),
+        }
+
+    # ------------------------------------------------------------------ lease I/O
+    def _lease_path(self, lease_id: str) -> Path:
+        return self.queue_dir / f"{lease_id}.json"
+
+    def _write_json(self, path: Path, payload: dict) -> None:
+        """Atomic JSON publish: unique temp name + rename, safe under concurrency."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, sort_keys=True)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _write_lease(self, lease: Lease) -> None:
+        self._write_json(self._lease_path(lease.lease_id), lease.to_dict())
+
+    def _read_lease(self, lease_id: str) -> Lease | None:
+        try:
+            return Lease.from_dict(
+                json.loads(self._lease_path(lease_id).read_text(encoding="utf-8"))
+            )
+        except (OSError, json.JSONDecodeError, KeyError):
+            return None
+
+    # ------------------------------------------------------------------ transitions
+    def claim(self, worker_id: str) -> Lease | None:
+        """Claim the next eligible lease for ``worker_id`` (None when nothing is).
+
+        Eligible: ``pending`` whose backoff window has passed, or ``running`` whose
+        deadline lapsed (the owner died or stalled — this *is* the requeue path for
+        dead workers).  A lapsed lease that is out of attempts transitions to
+        ``failed`` instead, and the cells it never finished get failure rows.
+        """
+        now = time.time()
+        params = self.queue_params()
+        with self._queue_locked():
+            for lease in self.leases():
+                if lease.state == "pending" and lease.not_before_unix <= now:
+                    eligible = True
+                elif lease.state == "running" and lease.deadline_unix < now:
+                    eligible = True
+                else:
+                    continue
+                if eligible and lease.attempts >= params["max_attempts"]:
+                    # Out of retries: a lapsed running lease whose every claim
+                    # died (or a requeued one nobody can finish) fails here.
+                    lease.errors = (lease.errors or []) + [
+                        {
+                            "type": "LeaseExpired",
+                            "message": f"lease deadline lapsed after "
+                            f"{lease.attempts} attempts (last owner {lease.owner})",
+                            "unix_time": now,
+                        }
+                    ]
+                    self._finalise_failure(lease)
+                    continue
+                lease.state = "running"
+                lease.owner = worker_id
+                lease.deadline_unix = now + params["lease_seconds"]
+                lease.attempts += 1
+                self._write_lease(lease)
+                return lease
+        return None
+
+    def heartbeat(self, lease: Lease, worker_id: str) -> bool:
+        """Extend the lease deadline; False when the lease is no longer ours."""
+        with self._queue_locked():
+            current = self._read_lease(lease.lease_id)
+            if current is None or current.owner != worker_id or current.state != "running":
+                return False
+            current.deadline_unix = time.time() + self.queue_params()["lease_seconds"]
+            self._write_lease(current)
+            return True
+
+    def complete(self, lease: Lease, worker_id: str) -> bool:
+        """Mark the lease done; False when it was reassigned underneath us."""
+        with self._queue_locked():
+            current = self._read_lease(lease.lease_id)
+            if current is None or current.owner != worker_id or current.state != "running":
+                return False
+            current.state = "done"
+            current.deadline_unix = 0.0
+            self._write_lease(current)
+            return True
+
+    def requeue(self, lease: Lease, worker_id: str, error: dict) -> str:
+        """Requeue a lease whose processing raised; returns the resulting state.
+
+        Retries back off exponentially (``backoff_seconds * 2**(attempts-1)``);
+        once ``max_attempts`` claims have been burned the lease is marked
+        ``failed`` and its unfinished cells get structured failure rows in the
+        shared store.
+        """
+        params = self.queue_params()
+        with self._queue_locked():
+            current = self._read_lease(lease.lease_id)
+            if current is None or current.owner != worker_id or current.state != "running":
+                return current.state if current is not None else "gone"
+            current.errors = (current.errors or []) + [error]
+            if current.attempts >= params["max_attempts"]:
+                self._finalise_failure(current)
+                return "failed"
+            current.state = "pending"
+            current.owner = None
+            current.deadline_unix = 0.0
+            current.not_before_unix = time.time() + params["backoff_seconds"] * (
+                2 ** (current.attempts - 1)
+            )
+            self._write_lease(current)
+            return "pending"
+
+    def _finalise_failure(self, lease: Lease) -> None:
+        """Write failure rows for the lease's unfinished cells, then mark it failed.
+
+        Runs under the queue lock; the store has its own inter-process lock, and
+        the two nest in a fixed order (queue → store) everywhere, so there is no
+        deadlock ordering hazard.  Rows land *before* the state flip so an
+        observer seeing a terminal queue always finds every cell accounted for.
+        """
+        store = self.result_store()
+        cells = self.cells_by_fingerprint()
+        last_error = (lease.errors or [{}])[-1]
+        for fingerprint in lease.fingerprints:
+            cell = cells.get(fingerprint)
+            if cell is None or fingerprint in store or store.get_failure(fingerprint):
+                continue
+            store.put_failure(
+                cell,
+                {
+                    "type": last_error.get("type", "LeaseFailed"),
+                    "message": last_error.get(
+                        "message", f"lease {lease.lease_id} failed"
+                    ),
+                    "worker": last_error.get("worker"),
+                    "attempts": lease.attempts,
+                    "lease_id": lease.lease_id,
+                    "unix_time": time.time(),
+                },
+            )
+        lease.state = "failed"
+        lease.owner = None
+        lease.deadline_unix = 0.0
+        self._write_lease(lease)
+
+
+# ---------------------------------------------------------------------- the worker
+class _HeartbeatThread(threading.Thread):
+    """Re-extends a lease deadline while the owning worker simulates."""
+
+    def __init__(self, service: CampaignService, lease: Lease, worker_id: str, interval: float):
+        super().__init__(daemon=True, name=f"lease-heartbeat-{lease.lease_id}")
+        self._service = service
+        self._lease = lease
+        self._worker_id = worker_id
+        self._interval = interval
+        # Not named _stop: threading.Thread has a private _stop method.
+        self._halt = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        while not self._halt.wait(self._interval):
+            try:
+                if not self._service.heartbeat(self._lease, self._worker_id):
+                    self.lost = True
+                    return
+            except OSError:
+                # A transient shared-filesystem error must not kill the worker;
+                # the next beat retries (and the deadline has 3× slack).
+                continue
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=self._interval + 1.0)
+
+
+def process_lease(
+    service: CampaignService, lease: Lease, worker_id: str, store: ResultStore
+) -> dict | None:
+    """Simulate one lease's cells, appending results to the shared store.
+
+    Returns ``None`` on full success, else the error payload of the first failing
+    cell (the caller requeues the lease with it).  Cells already present in the
+    store — finished by a previous attempt of this lease, or by a worker whose
+    lease lapsed *after* it had stored some cells — are skipped, so retries only
+    pay for what is actually missing.
+    """
+    params = service.queue_params()
+    heartbeat = _HeartbeatThread(
+        service, lease, worker_id, interval=max(0.05, params["lease_seconds"] / 3.0)
+    )
+    heartbeat.start()
+    first_error: dict | None = None
+
+    def land(cell: CampaignCell, entry: dict) -> None:
+        """Checkpoint one finished cell immediately (or note its error)."""
+        nonlocal first_error
+        if "error" in entry:
+            entry["error"]["worker"] = worker_id
+            entry["error"]["attempts"] = lease.attempts
+            if first_error is None:
+                first_error = entry["error"]
+            return
+        telemetry = entry["telemetry"]
+        telemetry["worker"] = worker_id
+        telemetry["lease_id"] = lease.lease_id
+        store.put(cell, SimulationResult.from_dict(entry["result"]), telemetry)
+
+    try:
+        store.reload()
+        cells = service.cells_by_fingerprint()
+        todo = [
+            cells[fp] for fp in lease.fingerprints if fp in cells and fp not in store
+        ]
+        # Same-workload batching through the shared trace cache: the first cell
+        # captures the workload once and — with REPRO_TRACE_STORE pointed at the
+        # service's traces/ dir — publishes it for the rest of the fleet.  Each
+        # finished cell is appended to the shared store straight away, so a
+        # worker dying mid-lease loses only its in-flight cell.
+        if multi_replay_enabled() and len(todo) > 1:
+            for group in _replay_groups(todo):
+                try:
+                    for cell, result, seconds, telemetry in _simulate_cell_group(group):
+                        land(
+                            cell,
+                            {
+                                "fingerprint": cell.fingerprint,
+                                "result": result.to_dict(),
+                                "seconds": seconds,
+                                "telemetry": telemetry,
+                            },
+                        )
+                except Exception:  # noqa: BLE001 — retry the group cell by cell
+                    for cell in group:
+                        if cell.fingerprint not in store:
+                            land(cell, _simulate_one_entry(cell))
+        else:
+            for cell in todo:
+                land(cell, _simulate_one_entry(cell))
+    except Exception as error:  # noqa: BLE001 — lease-level failure, requeued below
+        first_error = failure_payload(error, worker=worker_id, attempts=lease.attempts)
+    finally:
+        heartbeat.stop()
+    return first_error
+
+
+def work_loop(
+    service: CampaignService,
+    worker_id: str | None = None,
+    poll_seconds: float = 0.5,
+    once: bool = False,
+    progress: bool = False,
+) -> dict:
+    """Run a worker against the service until its queue is complete.
+
+    The worker claims leases, simulates them (heartbeating throughout), and exits
+    when every lease is terminal — *including* leases currently running elsewhere:
+    as long as one is ``running`` this worker keeps polling, because that lease
+    may lapse and need requeueing.  ``once=True`` processes at most one lease
+    (test hook).  Returns ``{"processed": n, "requeued": n, "lost": n}``.
+    """
+    worker_id = worker_id or default_worker_id()
+    # Route this process's trace cache at the fleet-shared trace store so each
+    # workload is captured once per fleet (an explicit env setting wins).
+    os.environ.setdefault(TRACE_STORE_ENV_VAR, str(service.trace_dir))
+    store = service.result_store()
+    counts = {"processed": 0, "requeued": 0, "lost": 0}
+    while True:
+        lease = service.claim(worker_id)
+        if lease is None:
+            if once or service.queue_complete():
+                return counts
+            time.sleep(poll_seconds)
+            continue
+        if progress:
+            print(
+                f"[{worker_id}] claimed {lease.lease_id} "
+                f"({len(lease.fingerprints)} cells, attempt {lease.attempts})",
+                flush=True,
+            )
+        error = process_lease(service, lease, worker_id, store)
+        if error is None:
+            if service.complete(lease, worker_id):
+                counts["processed"] += 1
+            else:
+                counts["lost"] += 1  # reassigned mid-run; results are stored anyway
+        else:
+            state = service.requeue(lease, worker_id, error)
+            counts["requeued" if state == "pending" else "lost"] += 1
+            if progress:
+                print(
+                    f"[{worker_id}] {lease.lease_id} -> {state}: "
+                    f"{error.get('type')}: {error.get('message')}",
+                    flush=True,
+                )
+        if once:
+            return counts
+
+
+# ---------------------------------------------------------------------- the server
+def serve(
+    service: CampaignService,
+    campaign: Campaign,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    lease_width: int | None = None,
+    poll_seconds: float = 0.5,
+    progress: bool = True,
+    timeout_seconds: float | None = None,
+    stream=None,
+) -> dict:
+    """Submit ``campaign`` and stream progress until the fleet finishes the grid.
+
+    The front-end of the distributed service: publishes the grid as leases,
+    then polls the shared store/queue, emitting one progress line (plus the
+    standard heartbeat-log events) per newly finished cell with its telemetry —
+    wall-clock, µops/s, which worker ran it.  Returns a summary dict with
+    ``results`` (fingerprint → record) and ``failed`` rows; raises
+    :class:`CoordinationError` on ``timeout_seconds``.
+
+    ``serve`` runs no simulations itself — start one or more ``repro-campaign
+    work`` processes against the same directory (any machine sharing it).
+    """
+    service.submit(
+        campaign,
+        lease_seconds=lease_seconds,
+        max_attempts=max_attempts,
+        backoff_seconds=backoff_seconds,
+        lease_width=lease_width,
+    )
+    cells = service.cells_by_fingerprint()
+    reporter = ProgressReporter(
+        total=len(cells), enabled=progress, label=campaign.name, stream=stream
+    )
+    seen: set[str] = set()
+    store = service.result_store()
+    started = time.monotonic()
+    while True:
+        store.reload()
+        for fingerprint, cell in cells.items():
+            if fingerprint in seen:
+                continue
+            if fingerprint in store:
+                record = store.get_record(fingerprint)
+                telemetry = record.get("telemetry") or {}
+                seen.add(fingerprint)
+                reporter.cell_done(
+                    cell, telemetry.get("wall_seconds", 0.0), reused=False
+                )
+            elif store.get_failure(fingerprint) is not None:
+                seen.add(fingerprint)
+                reporter.cell_failed(cell, store.get_failure(fingerprint)["error"])
+        if len(seen) == len(cells) or service.queue_complete():
+            break
+        if timeout_seconds is not None and time.monotonic() - started > timeout_seconds:
+            raise CoordinationError(
+                f"campaign incomplete after {timeout_seconds:.0f}s "
+                f"({len(seen)}/{len(cells)} cells terminal)"
+            )
+        time.sleep(poll_seconds)
+    reporter.finish()
+    store.reload()
+    results = {fp: store.get_record(fp) for fp in cells if fp in store}
+    failed = {
+        fp: store.get_failure(fp)
+        for fp in cells
+        if fp not in store and store.get_failure(fp) is not None
+    }
+    missing = [fp for fp in cells if fp not in results and fp not in failed]
+    return {
+        "campaign": campaign.name,
+        "cells": len(cells),
+        "results": results,
+        "failed": failed,
+        "missing": missing,
+        "elapsed_seconds": time.monotonic() - started,
+    }

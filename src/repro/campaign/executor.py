@@ -25,7 +25,9 @@ from scheduling order.
 from __future__ import annotations
 
 import os
+import socket
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
@@ -46,6 +48,24 @@ from repro.workloads.suite import Workload, workload
 
 #: Environment variable overriding the worker-process count.
 WORKERS_ENV_VAR = "REPRO_CAMPAIGN_WORKERS"
+
+
+def failure_payload(error: BaseException, worker: str | None = None, attempts: int = 1) -> dict:
+    """The structured error dict stored with a failed cell (see ``put_failure``).
+
+    Captures enough to triage without re-running: exception type/message, a
+    trimmed traceback, and where/how often the cell was attempted.
+    """
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "traceback": "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        )[-4000:],
+        "worker": worker if worker is not None else f"{socket.gethostname()}:{os.getpid()}",
+        "attempts": attempts,
+        "unix_time": time.time(),
+    }
 
 
 def default_workers() -> int:
@@ -161,29 +181,51 @@ def _replay_groups(pending: list[CampaignCell]) -> list[list[CampaignCell]]:
     ]
 
 
-def _pool_worker(cells: list[CampaignCell]) -> list[tuple[str, dict, float, dict]]:
+def _simulate_one_entry(cell: CampaignCell) -> dict:
+    """Simulate one cell into a shippable success/error entry (never raises)."""
+    snapshot = TraceCacheSnapshot()
+    started = time.monotonic()
+    try:
+        result = simulate_cell(cell)
+    except Exception as error:  # noqa: BLE001 — one bad cell must not sink the batch
+        return {"fingerprint": cell.fingerprint, "error": failure_payload(error)}
+    seconds = time.monotonic() - started
+    return {
+        "fingerprint": cell.fingerprint,
+        "result": result.to_dict(),
+        "seconds": seconds,
+        "telemetry": cell_telemetry(result, seconds, snapshot),
+    }
+
+
+def _pool_worker(cells: list[CampaignCell]) -> list[dict]:
     """Process-pool entry point: simulate a batch of same-workload cells.
 
     Cells are batched by workload (see :func:`_workload_batches`) so that each worker
     captures the architectural trace once per workload and replays it for every
-    configuration in the batch.  Each cell ships back with its telemetry row
-    (wall-clock, µops/s, trace-cache deltas) for the result store.
+    configuration in the batch.  Each cell ships back as one entry — either
+    ``{"fingerprint", "result", "seconds", "telemetry"}`` or ``{"fingerprint",
+    "error"}`` — so a raising cell costs only itself: a failed multi-replay group
+    falls back to per-cell simulation and everything else in the batch continues.
     """
+    out: list[dict] = []
     if multi_replay_enabled() and len(cells) > 1:
-        return [
-            (cell.fingerprint, result.to_dict(), seconds, telemetry)
-            for group in _replay_groups(cells)
-            for cell, result, seconds, telemetry in _simulate_cell_group(group)
-        ]
-    out: list[tuple[str, dict, float, dict]] = []
+        for group in _replay_groups(cells):
+            try:
+                for cell, result, seconds, telemetry in _simulate_cell_group(group):
+                    out.append(
+                        {
+                            "fingerprint": cell.fingerprint,
+                            "result": result.to_dict(),
+                            "seconds": seconds,
+                            "telemetry": telemetry,
+                        }
+                    )
+            except Exception:  # noqa: BLE001 — retry the group cell by cell
+                out.extend(_simulate_one_entry(cell) for cell in group)
+        return out
     for cell in cells:
-        snapshot = TraceCacheSnapshot()
-        started = time.monotonic()
-        result = simulate_cell(cell)
-        seconds = time.monotonic() - started
-        out.append(
-            (cell.fingerprint, result.to_dict(), seconds, cell_telemetry(result, seconds, snapshot))
-        )
+        out.append(_simulate_one_entry(cell))
     return out
 
 
@@ -192,12 +234,20 @@ class CampaignOutcome:
     """Everything :func:`run_campaign` learned: results plus provenance counters."""
 
     campaign: Campaign
-    #: (config_name, workload_name) → result, covering every cell of the grid.
+    #: (config_name, workload_name) → result, covering every *completed* cell.
     results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+    #: (config_name, workload_name) → structured error dict for cells whose
+    #: simulation raised (see :func:`failure_payload`); absent from ``results``.
+    failed: dict[tuple[str, str], dict] = field(default_factory=dict)
     simulated: int = 0
     from_store: int = 0
     from_cache: int = 0
     elapsed_seconds: float = 0.0
+
+    @property
+    def failures(self) -> int:
+        """Cells whose simulation raised (recorded in :attr:`failed`)."""
+        return len(self.failed)
 
     def by_config(self) -> dict[str, dict[str, SimulationResult]]:
         """Results regrouped as config name → workload name → result."""
@@ -266,28 +316,47 @@ def run_campaign(
             cache.put(cell.key, result)
         reporter.cell_done(cell, seconds, reused=False)
 
+    def fail(cell: CampaignCell, error: dict) -> None:
+        outcome.failed[(cell.config.name, cell.workload_name)] = error
+        if store is not None:
+            store.put_failure(cell, error)
+        reporter.cell_failed(cell, error)
+
+    def deliver(cell: CampaignCell, entry: dict) -> None:
+        """Route one worker entry (success or error) into the outcome/store."""
+        if "error" in entry:
+            fail(cell, entry["error"])
+        else:
+            complete(
+                cell,
+                SimulationResult.from_dict(entry["result"]),
+                entry["seconds"],
+                entry["telemetry"],
+            )
+
     if pending:
         if workers <= 1 or len(pending) == 1:
             if multi_replay_enabled() and len(pending) > 1:
                 # Same-workload cells collapse into one multi-replay pass each
                 # (REPRO_MULTI_REPLAY=1, chunked by REPRO_MULTI_REPLAY_WIDTH);
                 # results and telemetry rows land per cell exactly as the
-                # serial loop below produces them.
+                # serial loop below produces them.  A raising group retries its
+                # cells one by one, so one bad cell costs only itself.
                 for group in _replay_groups(pending):
                     for cell in group:
                         reporter.cell_started(cell)
-                    for cell, result, seconds, telemetry in _simulate_cell_group(group):
-                        complete(cell, result, seconds, telemetry)
+                    try:
+                        for cell, result, seconds, telemetry in _simulate_cell_group(group):
+                            complete(cell, result, seconds, telemetry)
+                    except Exception:  # noqa: BLE001 — fall back to per-cell
+                        for cell in group:
+                            deliver(cell, _simulate_one_entry(cell))
             else:
                 for cell in pending:
                     reporter.cell_started(cell)
-                    snapshot = TraceCacheSnapshot()
-                    cell_started = time.monotonic()
-                    result = simulate_cell(cell)
-                    seconds = time.monotonic() - cell_started
-                    complete(cell, result, seconds, cell_telemetry(result, seconds, snapshot))
+                    deliver(cell, _simulate_one_entry(cell))
         else:
-            _run_sharded(pending, workers, complete)
+            _run_sharded(pending, workers, deliver)
 
     outcome.elapsed_seconds = time.monotonic() - started
     reporter.finish()
@@ -318,20 +387,33 @@ def _workload_batches(pending: list, workers: int) -> list[list]:
     return batches
 
 
-def _run_sharded(pending, workers: int, complete) -> None:
-    """Fan ``pending`` cells out over a process pool, checkpointing as batches land."""
+def _run_sharded(pending, workers: int, deliver) -> None:
+    """Fan ``pending`` cells out over a process pool, checkpointing as batches land.
+
+    Per-cell exceptions never reach this layer (:func:`_pool_worker` converts them
+    to error entries); what can still raise here is the *pool itself* breaking — a
+    worker SIGKILLed by the OOM killer turns every in-flight future into
+    ``BrokenProcessPool``.  Those batches fall back to in-process per-cell
+    simulation, so the campaign finishes (slower) instead of losing the grid.
+    """
     by_fingerprint = {cell.fingerprint: cell for cell in pending}
     batches = _workload_batches(pending, workers)
+    stranded: list[CampaignCell] = []
     with ProcessPoolExecutor(max_workers=min(workers, len(batches))) as pool:
-        futures = {pool.submit(_pool_worker, batch) for batch in batches}
-        while futures:
-            finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+        futures = {pool.submit(_pool_worker, batch): batch for batch in batches}
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
             for future in finished:
-                for fingerprint, result_dict, seconds, telemetry in future.result():
-                    cell = by_fingerprint[fingerprint]
-                    complete(
-                        cell, SimulationResult.from_dict(result_dict), seconds, telemetry
-                    )
+                try:
+                    entries = future.result()
+                except Exception:  # noqa: BLE001 — pool died; batch result lost
+                    stranded.extend(futures[future])
+                    continue
+                for entry in entries:
+                    deliver(by_fingerprint[entry["fingerprint"]], entry)
+    for cell in stranded:
+        deliver(cell, _simulate_one_entry(cell))
 
 
 def campaign_status(campaign: Campaign, store: ResultStore | None) -> dict:

@@ -60,6 +60,7 @@ class ProgressReporter:
         self.done = 0
         self.simulated = 0
         self.reused = 0
+        self.failed = 0
         self._started = time.monotonic()
         self._simulated_seconds = 0.0
         if heartbeat_path is None:
@@ -97,6 +98,23 @@ class ProgressReporter:
             f" — elapsed {format_duration(self.elapsed)}, ETA {format_duration(self.eta)}"
         )
 
+    def cell_failed(self, cell: CampaignCell, error: dict | None = None) -> None:
+        """Record one cell whose simulation raised (the campaign continues)."""
+        self.done += 1
+        self.failed += 1
+        detail = {}
+        if error is not None:
+            detail = {"error_type": error.get("type"), "error_message": error.get("message")}
+        self._heartbeat("cell_failed", cell=cell.describe(), **detail)
+        if not self.enabled:
+            return
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        reason = f": {error.get('type')}: {error.get('message')}" if error else ""
+        self._emit(
+            f"{self.done}/{self.total} ({percent:3.0f}%) {cell.describe()} FAILED{reason}"
+            f" — elapsed {format_duration(self.elapsed)}"
+        )
+
     def finish(self) -> None:
         """Print the closing summary line."""
         self._heartbeat("finish", utilization=self.utilization)
@@ -107,8 +125,9 @@ class ProgressReporter:
             if self.workers > 1
             else ""
         )
+        failed_note = f", {self.failed} FAILED" if self.failed else ""
         self._emit(
-            f"done: {self.simulated} simulated, {self.reused} reused, "
+            f"done: {self.simulated} simulated, {self.reused} reused{failed_note}, "
             f"{self.total} cells in {format_duration(self.elapsed)}" + workers_note
         )
 
@@ -160,6 +179,7 @@ class ProgressReporter:
             "total": self.total,
             "simulated": self.simulated,
             "reused": self.reused,
+            "failed": self.failed,
             "elapsed_seconds": self.elapsed,
             "eta_seconds": self.eta,
             "workers": self.workers,

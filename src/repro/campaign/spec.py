@@ -26,7 +26,7 @@ from dataclasses import asdict, dataclass, field
 from functools import cached_property
 
 from repro.errors import ConfigurationError
-from repro.pipeline.config import PipelineConfig, named_config
+from repro.pipeline.config import NAMED_CONFIGS, PipelineConfig, named_config
 from repro.workloads.suite import FAST_SUBSET, SUITE_ORDER, all_workloads
 
 #: The eight-workload subset exercised by the benchmark harness (``conftest.py``):
@@ -216,6 +216,48 @@ class Campaign:
             return config
         return config.derive(
             predictor_seed=derive_seed(self.seed, config.name, workload_name)
+        )
+
+    def to_spec_dict(self) -> dict:
+        """A JSON-serialisable grid spec for the distributed coordinator.
+
+        Only *named* configurations round-trip (the worker fleet rebuilds each
+        config from the registry by name — shipping arbitrary dataclasses would
+        need a config codec and loses the registry's self-documenting labels), so
+        a campaign built from custom :class:`PipelineConfig` objects is rejected.
+        Seeded campaigns serialise the base configs plus the seed; every worker
+        re-derives identical per-cell seeds (:func:`derive_seed`).
+        """
+        for config in self.configs:
+            try:
+                registered = named_config(config.name)
+            except ConfigurationError:
+                registered = None
+            if registered != config:
+                raise ConfigurationError(
+                    f"campaign {self.name!r}: config {config.name!r} is not a named "
+                    f"configuration; the distributed service ships grids by config "
+                    f"name (known: {sorted(NAMED_CONFIGS)})"
+                )
+        return {
+            "name": self.name,
+            "configs": [config.name for config in self.configs],
+            "workloads": list(self.workload_names),
+            "max_uops": self.max_uops,
+            "warmup_uops": self.warmup_uops,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_spec_dict(cls, spec: dict) -> "Campaign":
+        """Rebuild a grid submitted with :meth:`to_spec_dict` (the worker side)."""
+        return cls.from_names(
+            config_names=tuple(spec["configs"]),
+            workload_selector=tuple(spec["workloads"]),
+            max_uops=spec["max_uops"],
+            warmup_uops=spec["warmup_uops"],
+            seed=spec.get("seed"),
+            name=spec.get("name", "campaign"),
         )
 
     def cells(self) -> list[CampaignCell]:

@@ -16,14 +16,38 @@ The store is *content-addressed*: the fingerprint hashes the full configuration
 dataclass, so results are invalidated implicitly whenever the simulated machine
 changes, and :meth:`ResultStore.invalidate` handles the explicit cases (a simulator
 bug-fix, a retired workload).
+
+**Multi-process sharing.** One store file may be appended to by many processes at
+once (sharded campaigns, the distributed coordinator's worker fleet).  Two
+mechanisms keep that safe:
+
+* every mutation — append, compaction, invalidate, merge — runs under an advisory
+  ``fcntl`` lock on a ``<store>.lock`` sidecar, so a compaction can never interleave
+  with another writer's append;
+* any rewrite first *reloads* the on-disk rows, so lines appended by other
+  processes since this instance's last load are folded in rather than silently
+  discarded (the pre-fix behaviour lost finished cells whenever the
+  ``REPRO_RESULT_STORE_MAX_MB`` auto-compaction fired on a shared store).
+
+Besides result rows, the store accepts *failure rows* — ``{"error": {...}}`` instead
+of ``"result"`` — recording cells whose simulation raised.  Failure rows never
+satisfy :meth:`ResultStore.get`/``in`` (a resumed campaign retries them); they are
+reported via :meth:`ResultStore.failures` and a newer success row supersedes them.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
+
+try:  # POSIX-only; the store degrades to lock-free on other platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.campaign.spec import CampaignCell
 from repro.pipeline.stats import SimulationResult
@@ -58,13 +82,56 @@ class ResultStore:
         self.path = Path(path)
         self.max_bytes = max_bytes if max_bytes is not None else default_max_bytes()
         self._records: dict[str, dict] = {}
+        self._failures: dict[str, dict] = {}
         self._skipped_lines = 0
         self._superseded_lines = 0
+        self._lock_depth = 0
         self._load()
 
+    # ------------------------------------------------------------------ locking
+    @contextmanager
+    def _locked(self):
+        """Hold the advisory inter-process lock (reentrant within this instance).
+
+        The lock lives on a ``<store>.lock`` sidecar rather than the data file
+        itself because rewrites *replace* the data file's inode — a lock taken on
+        the old inode would silently stop excluding writers that open the new one.
+        """
+        if self._lock_depth > 0 or fcntl is None:
+            self._lock_depth += 1
+            try:
+                yield
+            finally:
+                self._lock_depth -= 1
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = self.path.with_suffix(self.path.suffix + ".lock")
+        with lock_path.open("a+", encoding="utf-8") as lock_file:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+            self._lock_depth = 1
+            try:
+                yield
+            finally:
+                self._lock_depth = 0
+                # flock drops with the file handle on context exit.
+
     # ------------------------------------------------------------------ loading
+    def _ingest_row(self, record: dict) -> None:
+        fingerprint = record["fingerprint"]
+        if fingerprint in self._records or fingerprint in self._failures:
+            # The newer row wins; the older one is dead weight on disk
+            # until the next compaction.
+            self._superseded_lines += 1
+        self._records.pop(fingerprint, None)
+        self._failures.pop(fingerprint, None)
+        if "result" in record:
+            self._records[fingerprint] = record
+        else:
+            self._failures[fingerprint] = record
+
     def _load(self) -> None:
         self._records.clear()
+        self._failures.clear()
         self._skipped_lines = 0
         self._superseded_lines = 0
         if not self.path.exists():
@@ -76,16 +143,13 @@ class ResultStore:
                     continue
                 try:
                     record = json.loads(line)
-                    fingerprint = record["fingerprint"]
-                    record["result"]  # noqa: B018 — validate presence
+                    record["fingerprint"]  # noqa: B018 — validate presence
+                    if "error" not in record:
+                        record["result"]  # noqa: B018 — validate presence
                 except (json.JSONDecodeError, KeyError, TypeError):
                     self._skipped_lines += 1
                     continue
-                if fingerprint in self._records:
-                    # The newer row wins; the older one is dead weight on disk
-                    # until the next compaction.
-                    self._superseded_lines += 1
-                self._records[fingerprint] = record
+                self._ingest_row(record)
 
     def reload(self) -> None:
         """Re-read the backing file (e.g. after another process appended to it)."""
@@ -96,6 +160,7 @@ class ResultStore:
         return len(self._records)
 
     def __contains__(self, fingerprint: str) -> bool:
+        """True for *result* rows only — failure rows must not mask a retry."""
         return fingerprint in self._records
 
     @property
@@ -127,11 +192,19 @@ class ResultStore:
         return self._records.get(fingerprint)
 
     def records(self) -> list[dict]:
-        """All records, in insertion order."""
+        """All result records, in insertion order (failure rows excluded)."""
         return list(self._records.values())
 
+    def failures(self) -> list[dict]:
+        """All failure rows, in insertion order (see :meth:`put_failure`)."""
+        return list(self._failures.values())
+
+    def get_failure(self, fingerprint: str) -> dict | None:
+        """The failure row for ``fingerprint``, or ``None``."""
+        return self._failures.get(fingerprint)
+
     def fingerprints(self) -> set[str]:
-        """The set of stored fingerprints."""
+        """The set of stored result fingerprints."""
         return set(self._records)
 
     # ------------------------------------------------------------------ writing
@@ -158,31 +231,77 @@ class ResultStore:
         }
         if telemetry is not None:
             record["telemetry"] = telemetry
-        if cell.fingerprint in self._records:
-            self._superseded_lines += 1
-        self._records[cell.fingerprint] = record
+        self._ingest_row(record)
+        self._append(record)
+        return record
+
+    def put_failure(self, cell: CampaignCell, error: dict) -> dict:
+        """Persist a structured *failure* row for ``cell`` (simulation raised).
+
+        ``error`` is a JSON-serialisable dict — by convention ``{"type", "message",
+        "worker", "attempts", ...}`` (see
+        :func:`repro.campaign.executor.failure_payload`).  Failure rows are visible
+        via :meth:`failures`/:meth:`get_failure` but never via :meth:`get`/``in``,
+        so a resumed campaign retries the cell; a later success row supersedes the
+        failure automatically.
+        """
+        record = {
+            "fingerprint": cell.fingerprint,
+            "config": cell.config.name,
+            "workload": cell.workload_name,
+            "max_uops": cell.max_uops,
+            "warmup_uops": cell.warmup_uops,
+            "saved_unix": time.time(),
+            "error": error,
+        }
+        self._ingest_row(record)
         self._append(record)
         return record
 
     def _append(self, record: dict) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-        if self.max_bytes is not None and self.size_bytes() > self.max_bytes:
-            # Size-cap policy: compacting drops superseded/invalidated rows first;
-            # only if the live records alone exceed the cap are oldest rows
-            # evicted.  The eviction target is 80% of the cap, so a store sitting
-            # at its limit does not rewrite the whole file on every append.
-            self.compact(max(1, self.max_bytes * 4 // 5))
+        with self._locked():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+            if self.max_bytes is not None and self.size_bytes() > self.max_bytes:
+                # Size-cap policy: compacting drops superseded/invalidated rows
+                # first; only if the live records alone exceed the cap are oldest
+                # rows evicted.  The eviction target is 80% of the cap, so a store
+                # sitting at its limit does not rewrite the whole file on every
+                # append.  The lock is already held, so no other process can
+                # append between this append and the compaction rewrite.
+                self.compact(max(1, self.max_bytes * 4 // 5))
+
+    def _all_rows(self):
+        """Result rows then failure rows (rewrite order; load order-independent)."""
+        yield from self._records.values()
+        yield from self._failures.values()
 
     def _rewrite(self) -> None:
+        """Atomically replace the backing file with the in-memory rows.
+
+        Callers must hold the lock *and* have reloaded the on-disk state first
+        (:meth:`_load`): a rewrite from a stale snapshot silently discards rows
+        appended by other processes since this instance last read the file.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
-        with tmp_path.open("w", encoding="utf-8") as handle:
-            for record in self._records.values():
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-        tmp_path.replace(self.path)
+        handle_fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=f".{self.path.name}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+                for record in self._all_rows():
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         self._skipped_lines = 0
         self._superseded_lines = 0
 
@@ -192,38 +311,45 @@ class ResultStore:
         With ``max_bytes`` (or the store's own cap), oldest records — by their
         ``saved_unix`` stamp — are evicted until the live rows fit the budget.
         Returns a summary dict: rows dropped by kind and the before/after sizes.
+
+        Runs under the inter-process lock and re-reads the backing file first, so
+        rows appended by other processes since this instance's last load survive
+        the rewrite.
         """
-        before = self.size_bytes()
-        superseded = self._superseded_lines
-        corrupt = self._skipped_lines
-        budget = max_bytes if max_bytes is not None else self.max_bytes
-        evicted = 0
-        if budget is not None:
-            lines = {
-                fingerprint: len(json.dumps(record, sort_keys=True)) + 1
-                for fingerprint, record in self._records.items()
+        with self._locked():
+            self._load()
+            before = self.size_bytes()
+            superseded = self._superseded_lines
+            corrupt = self._skipped_lines
+            budget = max_bytes if max_bytes is not None else self.max_bytes
+            evicted = 0
+            if budget is not None:
+                lines = {
+                    record["fingerprint"]: len(json.dumps(record, sort_keys=True)) + 1
+                    for record in self._all_rows()
+                }
+                total = sum(lines.values())
+                if total > budget:
+                    oldest_first = sorted(
+                        self._records.values(),
+                        key=lambda record: record.get("saved_unix", 0.0),
+                    )
+                    for record in oldest_first:
+                        if total <= budget:
+                            break
+                        fingerprint = record["fingerprint"]
+                        total -= lines[fingerprint]
+                        del self._records[fingerprint]
+                        evicted += 1
+            self._rewrite()
+            return {
+                "superseded_dropped": superseded,
+                "corrupt_dropped": corrupt,
+                "evicted": evicted,
+                "bytes_before": before,
+                "bytes_after": self.size_bytes(),
+                "records": len(self._records),
             }
-            total = sum(lines.values())
-            if total > budget:
-                oldest_first = sorted(
-                    self._records.values(), key=lambda record: record.get("saved_unix", 0.0)
-                )
-                for record in oldest_first:
-                    if total <= budget:
-                        break
-                    fingerprint = record["fingerprint"]
-                    total -= lines[fingerprint]
-                    del self._records[fingerprint]
-                    evicted += 1
-        self._rewrite()
-        return {
-            "superseded_dropped": superseded,
-            "corrupt_dropped": corrupt,
-            "evicted": evicted,
-            "bytes_before": before,
-            "bytes_after": self.size_bytes(),
-            "records": len(self._records),
-        }
 
     # ------------------------------------------------------------------ maintenance
     def merge(self, other: "ResultStore | str | os.PathLike") -> int:
@@ -235,11 +361,13 @@ class ResultStore:
         if not isinstance(other, ResultStore):
             other = ResultStore(other)
         adopted = 0
-        for record in other.records():
-            if record["fingerprint"] not in self._records:
-                self._records[record["fingerprint"]] = record
-                self._append(record)
-                adopted += 1
+        with self._locked():
+            self._load()
+            for record in other.records():
+                if record["fingerprint"] not in self._records:
+                    self._records[record["fingerprint"]] = record
+                    self._append(record)
+                    adopted += 1
         return adopted
 
     def invalidate(
@@ -251,7 +379,8 @@ class ResultStore:
         """Drop records matching any given filter; returns the number removed.
 
         With no filters, every record is dropped (a full reset).  The backing file is
-        rewritten in place.
+        rewritten in place (under the inter-process lock, after a reload — rows
+        appended by other processes survive unless they too match a filter).
         """
         def doomed(record: dict) -> bool:
             if fingerprints is not None and record["fingerprint"] in fingerprints:
@@ -262,10 +391,17 @@ class ResultStore:
                 return True
             return config is None and workload is None and fingerprints is None
 
-        removed = [fp for fp, record in self._records.items() if doomed(record)]
-        for fingerprint in removed:
-            del self._records[fingerprint]
-        self._rewrite()
+        with self._locked():
+            self._load()
+            removed = [fp for fp, record in self._records.items() if doomed(record)]
+            for fingerprint in removed:
+                del self._records[fingerprint]
+            dropped_failures = [
+                fp for fp, record in self._failures.items() if doomed(record)
+            ]
+            for fingerprint in dropped_failures:
+                del self._failures[fingerprint]
+            self._rewrite()
         return len(removed)
 
     # ------------------------------------------------------------------ reporting
@@ -279,6 +415,7 @@ class ResultStore:
         return {
             "path": str(self.path),
             "records": len(self._records),
+            "failures": len(self._failures),
             "skipped_lines": self._skipped_lines,
             "superseded_lines": self._superseded_lines,
             "size_bytes": self.size_bytes(),

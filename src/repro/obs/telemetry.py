@@ -14,6 +14,7 @@ and adds nothing to the result itself, so stored results stay byte-compatible.
 from __future__ import annotations
 
 import os
+import socket
 
 from repro.trace.cache import shared_trace_cache
 
@@ -41,7 +42,10 @@ def cell_telemetry(result, seconds: float, snapshot: TraceCacheSnapshot) -> dict
     """The telemetry row stored with one simulated cell.
 
     ``uops_per_second`` uses the *full* committed count (warm-up included) — it
-    measures simulator throughput, not the measurement window.
+    measures simulator throughput, not the measurement window.  ``worker_host``
+    disambiguates ``worker_pid`` once rows from a distributed fleet
+    (:mod:`repro.campaign.coordinator`) land in one shared store; the coordinator
+    additionally stamps its ``worker`` id and ``lease_id`` onto the row.
     """
     committed = result.full_stats.committed_uops
     return {
@@ -49,4 +53,5 @@ def cell_telemetry(result, seconds: float, snapshot: TraceCacheSnapshot) -> dict
         "uops_per_second": committed / seconds if seconds > 0 else 0.0,
         "trace_cache": snapshot.delta(),
         "worker_pid": os.getpid(),
+        "worker_host": socket.gethostname(),
     }

@@ -15,6 +15,7 @@ exactly one file per program.
 from __future__ import annotations
 
 import os
+import tempfile
 from pathlib import Path
 
 from repro.isa.program import Program
@@ -44,12 +45,33 @@ class TraceStore:
             return None
 
     def save(self, trace: CapturedTrace) -> Path:
-        """Persist ``trace`` (atomically) and return its path."""
+        """Persist ``trace`` (atomically) and return its path.
+
+        Concurrent writers of the same fingerprint (two campaign workers capturing
+        one workload) must never share a temp file: each save stages through its own
+        ``mkstemp`` name in the store directory and publishes with an atomic
+        ``os.replace``, so readers observe either the old complete file or the new
+        complete file — never interleaved bytes.  The payload is fsynced before the
+        rename; a crash mid-save leaves only a ``*.tmp`` orphan, which
+        :meth:`load`/:meth:`__len__` never look at (they match ``*.trace`` only).
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path_for(trace.fingerprint)
-        tmp_path = path.with_suffix(".tmp")
-        tmp_path.write_bytes(trace.to_bytes())
-        tmp_path.replace(path)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{trace.fingerprint[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(trace.to_bytes())
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     def __len__(self) -> int:

@@ -127,3 +127,78 @@ class TestStatus:
         status = campaign_status(campaign, None)
         assert status["total"] == status["missing"] == 4
         assert "CfgA/gcc" in status["missing_cells"]
+
+
+class TestFailureHandling:
+    """A raising cell must cost only itself: failure row, grid continues, resume retries."""
+
+    @staticmethod
+    def _explode_on_mcf(monkeypatch):
+        import repro.campaign.executor as executor
+
+        real = executor.simulate_cell
+
+        def explode(cell, wl=None, trace=None):
+            if cell.workload_name == "mcf":
+                raise RuntimeError("injected fault")
+            return real(cell, wl, trace)
+
+        monkeypatch.setattr(executor, "simulate_cell", explode)
+        return real
+
+    def test_raising_cell_is_recorded_and_the_grid_continues(self, tmp_path, monkeypatch):
+        self._explode_on_mcf(monkeypatch)
+        campaign = _campaign()
+        store = ResultStore(tmp_path / "s.jsonl")
+        outcome = run_campaign(campaign, store=store, workers=1)
+        assert set(outcome.failed) == {("CfgA", "mcf"), ("CfgB", "mcf")}
+        assert set(outcome.results) == {("CfgA", "gcc"), ("CfgB", "gcc")}
+        assert outcome.failures == 2 and outcome.simulated == 2
+        for cell in campaign.cells():
+            if cell.workload_name == "mcf":
+                assert cell.fingerprint not in store
+                failure = store.get_failure(cell.fingerprint)
+                assert failure["error"]["type"] == "RuntimeError"
+                assert "injected fault" in failure["error"]["traceback"]
+            else:
+                assert cell.fingerprint in store
+
+    def test_resume_retries_failed_cells_and_success_supersedes(self, tmp_path, monkeypatch):
+        real = self._explode_on_mcf(monkeypatch)
+        campaign = _campaign()
+        store = ResultStore(tmp_path / "s.jsonl")
+        run_campaign(campaign, store=store, workers=1)
+
+        import repro.campaign.executor as executor
+
+        monkeypatch.setattr(executor, "simulate_cell", real)
+        resumed = run_campaign(campaign, store=ResultStore(store.path), workers=1)
+        assert not resumed.failed
+        assert resumed.simulated == 2  # only the two mcf cells re-ran
+        assert resumed.from_store == 2
+        reloaded = ResultStore(store.path)
+        for cell in campaign.cells():
+            assert cell.fingerprint in reloaded
+            assert reloaded.get_failure(cell.fingerprint) is None  # superseded
+
+    def test_sharded_run_survives_a_raising_cell(self, tmp_path, monkeypatch):
+        # ProcessPoolExecutor children are forked after the patch, so the
+        # injected fault reaches the pool workers too.
+        self._explode_on_mcf(monkeypatch)
+        outcome = run_campaign(
+            _campaign(), store=ResultStore(tmp_path / "s.jsonl"), workers=2
+        )
+        assert set(outcome.failed) == {("CfgA", "mcf"), ("CfgB", "mcf")}
+        assert set(outcome.results) == {("CfgA", "gcc"), ("CfgB", "gcc")}
+
+    def test_failure_payload_shape(self):
+        from repro.campaign.executor import failure_payload
+
+        try:
+            raise ValueError("boom")
+        except ValueError as error:
+            payload = failure_payload(error, worker="w1", attempts=2)
+        assert payload["type"] == "ValueError"
+        assert payload["message"] == "boom"
+        assert payload["worker"] == "w1" and payload["attempts"] == 2
+        assert "ValueError: boom" in payload["traceback"]

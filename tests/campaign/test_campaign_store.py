@@ -204,3 +204,47 @@ class TestCompaction:
         monkeypatch.setenv(MAX_MB_ENV_VAR, "not-a-number")
         store = ResultStore(tmp_path / "store.jsonl")
         assert store.max_bytes is None
+
+
+class TestFailureRows:
+    def test_failure_rows_never_satisfy_get_or_contains(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        cell = _cell()
+        store.put_failure(cell, {"type": "RuntimeError", "message": "boom"})
+        assert cell.fingerprint not in store
+        assert store.get(cell.fingerprint) is None
+        assert store.get_failure(cell.fingerprint)["error"]["message"] == "boom"
+        assert len(store.failures()) == 1
+        assert store.summary()["failures"] == 1
+
+    def test_failure_rows_survive_reload_and_compaction(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        cell = _cell()
+        store.put_failure(cell, {"type": "RuntimeError", "message": "boom"})
+        reloaded = ResultStore(store.path)
+        assert reloaded.get_failure(cell.fingerprint) is not None
+        reloaded.compact()
+        assert ResultStore(store.path).get_failure(cell.fingerprint) is not None
+
+    def test_success_supersedes_failure_and_vice_versa(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        cell = _cell()
+        store.put_failure(cell, {"type": "RuntimeError", "message": "boom"})
+        result = _result(cell)
+        store.put(cell, result)
+        assert store.get(cell.fingerprint) == result
+        assert store.get_failure(cell.fingerprint) is None
+        store.put_failure(cell, {"type": "RuntimeError", "message": "again"})
+        assert cell.fingerprint not in store  # newest row wins across kinds
+        reloaded = ResultStore(store.path)
+        assert reloaded.get(cell.fingerprint) is None
+        assert reloaded.get_failure(cell.fingerprint)["error"]["message"] == "again"
+
+    def test_invalidate_drops_matching_failure_rows(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.put_failure(_cell(), {"type": "E", "message": "x"})
+        store.put_failure(_cell(workload="mcf"), {"type": "E", "message": "y"})
+        store.invalidate(workload="mcf")
+        reloaded = ResultStore(store.path)
+        assert len(reloaded.failures()) == 1
+        assert reloaded.failures()[0]["workload"] == "gcc"
