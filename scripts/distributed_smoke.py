@@ -62,6 +62,13 @@ def main() -> int:
     parser.add_argument(
         "--timeout-seconds", type=float, default=600.0, help="overall completion budget"
     )
+    parser.add_argument(
+        "--service-dir",
+        default=None,
+        help="use (and leave behind) this service directory instead of a "
+        "self-cleaning temp dir — lets CI run `repro-campaign fsck` on the "
+        "directory the fleet actually produced",
+    )
     args = parser.parse_args()
 
     campaign = Campaign.from_names(
@@ -72,7 +79,9 @@ def main() -> int:
         name="distributed-smoke",
     )
     with tempfile.TemporaryDirectory(prefix="repro-fleet-") as scratch:
-        service = CampaignService(Path(scratch) / "svc")
+        service = CampaignService(
+            Path(args.service_dir) if args.service_dir else Path(scratch) / "svc"
+        )
         # lease_width=1 → 16 single-cell leases, so the SIGKILL lands mid-grid
         # and the survivor demonstrably takes over the victim's leases.
         leases = service.submit(

@@ -1,6 +1,6 @@
 """Command-line front-end: ``python -m repro.campaign`` (or ``repro-campaign``).
 
-Six subcommands::
+Seven subcommands::
 
     run      simulate a (configs × workloads) grid, persisting results to a store
     status   report done/missing cells for a grid against a store (no simulation)
@@ -15,6 +15,10 @@ Six subcommands::
              spawning --local-workers N on this host)
     work     run one worker against a service directory: lease cells, heartbeat,
              simulate, append to the shared store; exits when the queue completes
+             (SIGTERM/SIGINT release the held lease back to the queue first)
+    fsck     audit a service directory or bare store for crash residue — torn or
+             corrupt rows, bad trace blobs, orphaned temp files, wedged leases —
+             and optionally --repair it back to a resumable state
 
 Examples::
 
@@ -27,6 +31,7 @@ Examples::
     python -m repro.campaign serve --service /shared/fleet \\
         --configs Baseline_6_64,EOLE_4_64 --workloads subset --local-workers 2
     python -m repro.campaign work --service /shared/fleet     # on any fleet host
+    python -m repro.campaign fsck --service /shared/fleet --repair
 """
 
 from __future__ import annotations
@@ -48,6 +53,12 @@ from repro.campaign.coordinator import (
     work_loop,
 )
 from repro.campaign.executor import campaign_status, default_workers, run_campaign
+from repro.campaign.fsck import (
+    DEFAULT_TMP_AGE_SECONDS,
+    fsck_service,
+    fsck_store,
+    render_table,
+)
 from repro.campaign.spec import WORKLOAD_SETS, Campaign
 from repro.campaign.store import MAX_MB_ENV_VAR, STORE_ENV_VAR, ResultStore
 from repro.errors import ReproError
@@ -206,6 +217,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-lease progress lines"
     )
 
+    fsck_parser = commands.add_parser(
+        "fsck", help="audit (and optionally repair) a service directory or store"
+    )
+    fsck_target = fsck_parser.add_mutually_exclusive_group(required=True)
+    fsck_target.add_argument(
+        "--service", help="campaign service directory to audit end to end"
+    )
+    fsck_target.add_argument(
+        "--store", help="bare result-store JSONL file to audit (no queue/traces)"
+    )
+    fsck_parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="fix what can be fixed: compact quarantined/legacy store rows, "
+        "quarantine corrupt trace blobs and lease records, sweep orphaned temp "
+        "files, requeue wedged leases, re-cover orphaned grid cells",
+    )
+    fsck_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: human table)",
+    )
+    fsck_parser.add_argument(
+        "--tmp-age",
+        type=float,
+        default=DEFAULT_TMP_AGE_SECONDS,
+        help="seconds before a .*.tmp staging file counts as an orphan "
+        f"(default {DEFAULT_TMP_AGE_SECONDS:.0f}; live writers are younger)",
+    )
+
     report_parser = commands.add_parser("report", help="tabulate stored results")
     _add_store_argument(report_parser, required=True)
     report_parser.add_argument(
@@ -338,19 +380,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_work(args: argparse.Namespace) -> int:
     service = CampaignService(args.service)
+    # handle_signals: a drained/redeployed worker (SIGTERM from an orchestrator,
+    # Ctrl-C at a terminal) releases its held lease back to pending immediately
+    # instead of forcing the fleet to wait out the lease timeout.
     counts = work_loop(
         service,
         worker_id=args.worker_id,
         poll_seconds=args.poll_seconds,
         once=args.once,
         progress=not args.quiet,
+        handle_signals=True,
     )
+    interrupted = counts.get("interrupted")
     if not args.quiet:
         print(
             f"worker done: {counts['processed']} leases processed, "
-            f"{counts['requeued']} requeued, {counts['lost']} lost"
+            f"{counts['requeued']} requeued, {counts['lost']} lost, "
+            f"{counts['released']} released"
+            + (f" (interrupted by {interrupted})" if interrupted else "")
         )
-    return 0
+    return 130 if interrupted else 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    if args.service:
+        report = fsck_service(args.service, repair=args.repair, tmp_age=args.tmp_age)
+    else:
+        report = fsck_store(args.store, repair=args.repair, tmp_age=args.tmp_age)
+    if report.findings and report.findings[0].check == "target":
+        print(f"error: {report.findings[0].detail}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_table(report))
+    return 0 if report.clean else 1
 
 
 def _cmd_compact(args: argparse.Namespace) -> int:
@@ -547,6 +611,7 @@ def main(argv: list[str] | None = None) -> int:
         "compact": _cmd_compact,
         "serve": _cmd_serve,
         "work": _cmd_work,
+        "fsck": _cmd_fsck,
     }
     try:
         return handlers[args.command](args)

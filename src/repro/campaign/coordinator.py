@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import socket
 import tempfile
 import threading
@@ -64,6 +65,16 @@ from repro.campaign.executor import (
     _simulate_cell_group,
     _simulate_one_entry,
     failure_payload,
+)
+from repro.faults import active_faults
+from repro.faults.sites import (
+    COORD_CLAIM_DELAY,
+    COORD_CLOCK_SKEW,
+    COORD_COMPLETE_DELAY,
+    COORD_HEARTBEAT_DROP,
+    WORKER_DIE_AFTER_CLAIM,
+    WORKER_DIE_BEFORE_COMPLETE,
+    WORKER_DIE_MID_LEASE,
 )
 from repro.pipeline.multi_replay import multi_replay_enabled
 from repro.campaign.progress import ProgressReporter
@@ -330,6 +341,14 @@ class CampaignService:
         ``failed`` instead, and the cells it never finished get failure rows.
         """
         now = time.time()
+        faults = active_faults()
+        if faults is not None:
+            skew = faults.fires(COORD_CLOCK_SKEW)
+            if skew is not None:
+                now += skew.skew  # this claimant's clock runs fast/slow vs the fleet
+            delay = faults.fires(COORD_CLAIM_DELAY)
+            if delay is not None and delay.delay > 0:
+                time.sleep(delay.delay)
         params = self.queue_params()
         with self._queue_locked():
             for lease in self.leases():
@@ -362,6 +381,11 @@ class CampaignService:
 
     def heartbeat(self, lease: Lease, worker_id: str) -> bool:
         """Extend the lease deadline; False when the lease is no longer ours."""
+        faults = active_faults()
+        if faults is not None and faults.fires(COORD_HEARTBEAT_DROP) is not None:
+            # The beat was "lost on the wire": the worker believes it succeeded
+            # but the deadline is not extended — enough drops lapse the lease.
+            return True
         with self._queue_locked():
             current = self._read_lease(lease.lease_id)
             if current is None or current.owner != worker_id or current.state != "running":
@@ -372,12 +396,39 @@ class CampaignService:
 
     def complete(self, lease: Lease, worker_id: str) -> bool:
         """Mark the lease done; False when it was reassigned underneath us."""
+        faults = active_faults()
+        if faults is not None:
+            delay = faults.fires(COORD_COMPLETE_DELAY)
+            if delay is not None and delay.delay > 0:
+                # Widen the lapse window right before the terminal transition —
+                # the owner-fencing below must still reject a reassigned lease.
+                time.sleep(delay.delay)
         with self._queue_locked():
             current = self._read_lease(lease.lease_id)
             if current is None or current.owner != worker_id or current.state != "running":
                 return False
             current.state = "done"
             current.deadline_unix = 0.0
+            self._write_lease(current)
+            return True
+
+    def release(self, lease: Lease, worker_id: str) -> bool:
+        """Politely hand a running lease back to the queue (owner-fenced).
+
+        The exit path of a SIGTERM/SIGINT-ed worker: unlike a lapse, the lease is
+        requeued *immediately* (no lease-timeout wait, no backoff) and the claim
+        that is being abandoned is refunded — a politely-killed worker must not
+        burn the lease's retry budget.  False when the lease is no longer ours.
+        """
+        with self._queue_locked():
+            current = self._read_lease(lease.lease_id)
+            if current is None or current.owner != worker_id or current.state != "running":
+                return False
+            current.state = "pending"
+            current.owner = None
+            current.deadline_unix = 0.0
+            current.not_before_unix = 0.0
+            current.attempts = max(0, current.attempts - 1)
             self._write_lease(current)
             return True
 
@@ -442,6 +493,16 @@ class CampaignService:
 
 
 # ---------------------------------------------------------------------- the worker
+class WorkerInterrupted(BaseException):
+    """Raised by the worker's SIGTERM/SIGINT handler to unwind to the release path.
+
+    Deliberately a ``BaseException``: the lease-processing machinery converts any
+    ``Exception`` into a requeue-with-backoff, but a politely-killed worker must
+    reach :meth:`CampaignService.release` (immediate, owner-fenced, refunded
+    requeue) instead of burning an attempt.
+    """
+
+
 class _HeartbeatThread(threading.Thread):
     """Re-extends a lease deadline while the owning worker simulates."""
 
@@ -502,6 +563,11 @@ def process_lease(
         telemetry["worker"] = worker_id
         telemetry["lease_id"] = lease.lease_id
         store.put(cell, SimulationResult.from_dict(entry["result"]), telemetry)
+        faults = active_faults()
+        if faults is not None:
+            # Death right after a cell landed in the shared store: the takeover
+            # worker must skip the stored cell and finish only what is missing.
+            faults.die_if(WORKER_DIE_MID_LEASE)
 
     try:
         store.reload()
@@ -547,6 +613,7 @@ def work_loop(
     poll_seconds: float = 0.5,
     once: bool = False,
     progress: bool = False,
+    handle_signals: bool = False,
 ) -> dict:
     """Run a worker against the service until its queue is complete.
 
@@ -554,44 +621,79 @@ def work_loop(
     when every lease is terminal — *including* leases currently running elsewhere:
     as long as one is ``running`` this worker keeps polling, because that lease
     may lapse and need requeueing.  ``once=True`` processes at most one lease
-    (test hook).  Returns ``{"processed": n, "requeued": n, "lost": n}``.
+    (test hook).  Returns ``{"processed": n, "requeued": n, "lost": n,
+    "released": n}`` (plus ``"interrupted": <signal name>`` after a polite kill).
+
+    With ``handle_signals=True`` (the CLI path; requires the main thread) SIGTERM
+    and SIGINT unwind to a polite exit: the currently held lease is released back
+    to the queue immediately — owner-fenced, attempt refunded — so a drained or
+    redeployed worker never forces the fleet to wait out a full lease timeout.
     """
     worker_id = worker_id or default_worker_id()
     # Route this process's trace cache at the fleet-shared trace store so each
     # workload is captured once per fleet (an explicit env setting wins).
     os.environ.setdefault(TRACE_STORE_ENV_VAR, str(service.trace_dir))
     store = service.result_store()
-    counts = {"processed": 0, "requeued": 0, "lost": 0}
-    while True:
-        lease = service.claim(worker_id)
-        if lease is None:
-            if once or service.queue_complete():
-                return counts
-            time.sleep(poll_seconds)
-            continue
-        if progress:
-            print(
-                f"[{worker_id}] claimed {lease.lease_id} "
-                f"({len(lease.fingerprints)} cells, attempt {lease.attempts})",
-                flush=True,
-            )
-        error = process_lease(service, lease, worker_id, store)
-        if error is None:
-            if service.complete(lease, worker_id):
-                counts["processed"] += 1
-            else:
-                counts["lost"] += 1  # reassigned mid-run; results are stored anyway
-        else:
-            state = service.requeue(lease, worker_id, error)
-            counts["requeued" if state == "pending" else "lost"] += 1
+    counts = {"processed": 0, "requeued": 0, "lost": 0, "released": 0}
+
+    def _interrupt(signum, frame):  # noqa: ARG001 — signal-handler signature
+        raise WorkerInterrupted(signal.Signals(signum).name)
+
+    previous_handlers = {}
+    if handle_signals:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _interrupt)
+    lease: Lease | None = None
+    faults = active_faults()
+    try:
+        while True:
+            lease = service.claim(worker_id)
+            if lease is None:
+                if once or service.queue_complete():
+                    return counts
+                time.sleep(poll_seconds)
+                continue
+            if faults is not None:
+                faults.die_if(WORKER_DIE_AFTER_CLAIM)
             if progress:
                 print(
-                    f"[{worker_id}] {lease.lease_id} -> {state}: "
-                    f"{error.get('type')}: {error.get('message')}",
+                    f"[{worker_id}] claimed {lease.lease_id} "
+                    f"({len(lease.fingerprints)} cells, attempt {lease.attempts})",
                     flush=True,
                 )
-        if once:
-            return counts
+            error = process_lease(service, lease, worker_id, store)
+            if error is None:
+                if faults is not None:
+                    # Every cell is stored but the lease is still "running": the
+                    # takeover claim finds nothing left to simulate.
+                    faults.die_if(WORKER_DIE_BEFORE_COMPLETE)
+                if service.complete(lease, worker_id):
+                    counts["processed"] += 1
+                else:
+                    counts["lost"] += 1  # reassigned mid-run; results are stored anyway
+            else:
+                state = service.requeue(lease, worker_id, error)
+                counts["requeued" if state == "pending" else "lost"] += 1
+                if progress:
+                    print(
+                        f"[{worker_id}] {lease.lease_id} -> {state}: "
+                        f"{error.get('type')}: {error.get('message')}",
+                        flush=True,
+                    )
+            lease = None
+            if once:
+                return counts
+    except WorkerInterrupted as stop:
+        if lease is not None and service.release(lease, worker_id):
+            counts["released"] += 1
+        counts["interrupted"] = str(stop)
+        if progress:
+            released = " (lease released)" if counts["released"] else ""
+            print(f"[{worker_id}] interrupted by {stop}{released}", flush=True)
+        return counts
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
 
 
 # ---------------------------------------------------------------------- the server

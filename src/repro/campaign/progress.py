@@ -10,6 +10,9 @@ Besides the human progress lines (``enabled=True``), the reporter can append a
 ``cell_done``, ``finish``) — to the path given by ``heartbeat_path`` or the
 ``REPRO_HEARTBEAT_LOG`` environment variable.  The heartbeat is written regardless
 of ``enabled`` and swallows I/O errors: telemetry must never take a campaign down.
+Swallowed write failures are counted (``heartbeat_errors``) and surfaced in both
+the human finish line and the structured ``finish`` record, so lost telemetry is
+at least visible after the fact.
 """
 
 from __future__ import annotations
@@ -63,6 +66,9 @@ class ProgressReporter:
         self.failed = 0
         self._started = time.monotonic()
         self._simulated_seconds = 0.0
+        #: Swallowed heartbeat-log write failures (full disk, bad path, …).
+        #: Surfaced in the finish summary so silently-lost telemetry is visible.
+        self.heartbeat_errors = 0
         if heartbeat_path is None:
             heartbeat_path = os.environ.get(HEARTBEAT_ENV_VAR) or None
         self._heartbeat_path = Path(heartbeat_path) if heartbeat_path else None
@@ -117,7 +123,11 @@ class ProgressReporter:
 
     def finish(self) -> None:
         """Print the closing summary line."""
-        self._heartbeat("finish", utilization=self.utilization)
+        # The finish record carries the swallowed-error count: a reader tailing
+        # the log can tell how many events a sick disk silently dropped (the
+        # finish write itself may add one more, uncountable by definition).
+        self._heartbeat("finish", utilization=self.utilization,
+                        heartbeat_write_errors=self.heartbeat_errors)
         if not self.enabled:
             return
         workers_note = (
@@ -126,9 +136,16 @@ class ProgressReporter:
             else ""
         )
         failed_note = f", {self.failed} FAILED" if self.failed else ""
+        heartbeat_note = (
+            f", {self.heartbeat_errors} heartbeat-log writes failed"
+            if self.heartbeat_errors
+            else ""
+        )
         self._emit(
             f"done: {self.simulated} simulated, {self.reused} reused{failed_note}, "
-            f"{self.total} cells in {format_duration(self.elapsed)}" + workers_note
+            f"{self.total} cells in {format_duration(self.elapsed)}"
+            + workers_note
+            + heartbeat_note
         )
 
     # ------------------------------------------------------------------ derived
@@ -190,5 +207,6 @@ class ProgressReporter:
             with path.open("a", encoding="utf-8") as handle:
                 handle.write(json.dumps(row, sort_keys=True) + "\n")
         except OSError:
-            # Telemetry must never take a campaign down (full disk, bad path, …).
-            pass
+            # Telemetry must never take a campaign down (full disk, bad path, …)
+            # — but a swallowed write is still a lost event, so count it.
+            self.heartbeat_errors += 1

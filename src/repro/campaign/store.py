@@ -33,6 +33,18 @@ Besides result rows, the store accepts *failure rows* — ``{"error": {...}}`` i
 of ``"result"`` — recording cells whose simulation raised.  Failure rows never
 satisfy :meth:`ResultStore.get`/``in`` (a resumed campaign retries them); they are
 reported via :meth:`ResultStore.failures` and a newer success row supersedes them.
+
+**Integrity.** Every row written since schema version 2 carries ``"v"`` (the row
+schema version) and ``"crc"`` (CRC32 of the canonical sorted-JSON row with the
+``crc`` key removed), so silent corruption — bit rot, a torn write that happens to
+stay valid JSON — is detected on load, not just syntax errors.  Unstamped legacy
+rows are still read (and upgraded in place by the next :meth:`ResultStore.compact`).
+Rows that fail to parse or verify are *quarantined*, never a hard failure: the load
+skips them, keeps their raw bytes for inspection (:meth:`ResultStore.quarantined`),
+and compaction moves them to a ``<store>.quarantine`` sidecar before dropping them
+from the data file.  Appends heal a torn trailing line (a crash mid-append) by
+prefixing a newline, so one torn row never corrupts the rows appended after it.
+``repro-campaign fsck`` audits all of this (see :mod:`repro.campaign.fsck`).
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ import json
 import os
 import tempfile
 import time
+import zlib
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -50,10 +63,39 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
 from repro.campaign.spec import CampaignCell
+from repro.faults import InjectedFault, active_faults
+from repro.faults.sites import (
+    STORE_APPEND_CORRUPT,
+    STORE_APPEND_TORN,
+    STORE_REWRITE_CRASH,
+)
 from repro.pipeline.stats import SimulationResult
 
 #: Environment variable naming the default persistent store (opt-in).
 STORE_ENV_VAR = "REPRO_RESULT_STORE"
+
+#: Row schema version stamped into every written row (``"v"``).  Version 2 added
+#: the per-row CRC; rows without ``v``/``crc`` are read as version-1 legacy rows.
+ROW_VERSION = 2
+
+
+def row_crc(record: dict) -> int:
+    """CRC32 of the canonical sorted-JSON encoding of ``record`` minus its ``crc``.
+
+    The canonicalisation is exactly the line encoding (``json.dumps(...,
+    sort_keys=True)``), so a row round-trips: the CRC computed from the parsed dict
+    equals the CRC computed when the line was written.
+    """
+    sans_crc = {key: value for key, value in record.items() if key != "crc"}
+    return zlib.crc32(json.dumps(sans_crc, sort_keys=True).encode("utf-8"))
+
+
+def stamp_row(record: dict) -> dict:
+    """Stamp ``record`` (in place) with the schema version and its CRC."""
+    record["v"] = ROW_VERSION
+    record.pop("crc", None)
+    record["crc"] = row_crc(record)
+    return record
 
 #: Environment variable: size cap, in megabytes, above which the backing file is
 #: automatically compacted after an append (superseded/corrupt rows dropped; oldest
@@ -85,6 +127,8 @@ class ResultStore:
         self._failures: dict[str, dict] = {}
         self._skipped_lines = 0
         self._superseded_lines = 0
+        self._unstamped_lines = 0
+        self._quarantined: list[dict] = []
         self._lock_depth = 0
         self._load()
 
@@ -129,15 +173,27 @@ class ResultStore:
         else:
             self._failures[fingerprint] = record
 
+    def _quarantine_line(self, line_no: int, raw: str, reason: str) -> None:
+        """Set a bad line aside in memory (never a hard parse failure).
+
+        The raw bytes are kept so :meth:`compact` (and ``fsck --repair``) can move
+        them to the ``<store>.quarantine`` sidecar instead of silently destroying
+        whatever data survives in them.
+        """
+        self._skipped_lines += 1
+        self._quarantined.append({"line": line_no, "reason": reason, "raw": raw})
+
     def _load(self) -> None:
         self._records.clear()
         self._failures.clear()
         self._skipped_lines = 0
         self._superseded_lines = 0
+        self._unstamped_lines = 0
+        self._quarantined = []
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
@@ -147,8 +203,17 @@ class ResultStore:
                     if "error" not in record:
                         record["result"]  # noqa: B018 — validate presence
                 except (json.JSONDecodeError, KeyError, TypeError):
-                    self._skipped_lines += 1
+                    self._quarantine_line(line_no, line, "parse")
                     continue
+                if "crc" in record:
+                    if not isinstance(record.get("v"), int) or record["v"] > ROW_VERSION:
+                        self._quarantine_line(line_no, line, "version")
+                        continue
+                    if record["crc"] != row_crc(record):
+                        self._quarantine_line(line_no, line, "crc")
+                        continue
+                else:
+                    self._unstamped_lines += 1  # pre-CRC legacy row: accepted as-is
                 self._ingest_row(record)
 
     def reload(self) -> None:
@@ -165,13 +230,27 @@ class ResultStore:
 
     @property
     def skipped_lines(self) -> int:
-        """Corrupt/truncated lines ignored by the last load."""
+        """Corrupt/truncated lines ignored (quarantined) by the last load."""
         return self._skipped_lines
 
     @property
     def superseded_lines(self) -> int:
         """Duplicate-fingerprint rows shadowed by newer ones since the last load."""
         return self._superseded_lines
+
+    @property
+    def unstamped_lines(self) -> int:
+        """Legacy (pre-CRC) rows read by the last load; upgraded on compaction."""
+        return self._unstamped_lines
+
+    def quarantined(self) -> list[dict]:
+        """The bad lines set aside by the last load: ``{"line", "reason", "raw"}``.
+
+        Reasons: ``parse`` (not JSON / missing fields — the torn-append artefact),
+        ``crc`` (stamped row whose checksum does not match — silent corruption),
+        ``version`` (row from a future schema this reader cannot verify).
+        """
+        return list(self._quarantined)
 
     def size_bytes(self) -> int:
         """Current size of the backing file in bytes (0 when it does not exist)."""
@@ -231,6 +310,7 @@ class ResultStore:
         }
         if telemetry is not None:
             record["telemetry"] = telemetry
+        stamp_row(record)
         self._ingest_row(record)
         self._append(record)
         return record
@@ -254,15 +334,43 @@ class ResultStore:
             "saved_unix": time.time(),
             "error": error,
         }
+        stamp_row(record)
         self._ingest_row(record)
         self._append(record)
         return record
 
+    def _torn_tail(self) -> bool:
+        """True when the backing file ends mid-line (a crash tore the last append)."""
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
     def _append(self, record: dict) -> None:
         with self._locked():
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Heal a torn trailing line (crash mid-append) by starting this row on
+            # a fresh line: the torn fragment stays quarantinable on its own line
+            # instead of swallowing (and corrupting) the row written after it.
+            prefix = "\n" if self._torn_tail() else ""
+            line = json.dumps(record, sort_keys=True)
+            faults = active_faults()
             with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                if faults is not None and faults.fires(STORE_APPEND_TORN) is not None:
+                    handle.write(prefix + line[: max(1, len(line) // 2)])
+                    handle.flush()
+                    raise InjectedFault(f"injected fault at {STORE_APPEND_TORN}")
+                if faults is not None and faults.fires(STORE_APPEND_CORRUPT) is not None:
+                    # Silent bit rot: garble the middle of the row but keep it one
+                    # line — only the CRC (or a JSON error) catches it on load.
+                    middle = len(line) // 2
+                    line = line[:middle] + "#CORRUPT#" + line[middle + 9 :]
+                handle.write(prefix + line + "\n")
                 handle.flush()
             if self.max_bytes is not None and self.size_bytes() > self.max_bytes:
                 # Size-cap policy: compacting drops superseded/invalidated rows
@@ -289,13 +397,22 @@ class ResultStore:
         handle_fd, tmp_name = tempfile.mkstemp(
             dir=self.path.parent, prefix=f".{self.path.name}-", suffix=".tmp"
         )
+        faults = active_faults()
         try:
             with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
                 for record in self._all_rows():
+                    if "crc" not in record:
+                        stamp_row(record)  # rewrite upgrades legacy rows in place
                     handle.write(json.dumps(record, sort_keys=True) + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
+            if faults is not None:
+                # Simulated SIGKILL between mkstemp and rename: no cleanup runs,
+                # the data file survives untouched, the tmp orphan stays for fsck.
+                faults.crash_if(STORE_REWRITE_CRASH)
             os.replace(tmp_name, self.path)
+        except InjectedFault:
+            raise
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -304,6 +421,8 @@ class ResultStore:
             raise
         self._skipped_lines = 0
         self._superseded_lines = 0
+        self._unstamped_lines = 0
+        self._quarantined = []
 
     def compact(self, max_bytes: int | None = None) -> dict:
         """Rewrite the file dropping superseded/corrupt rows; optionally cap its size.
@@ -321,6 +440,7 @@ class ResultStore:
             before = self.size_bytes()
             superseded = self._superseded_lines
             corrupt = self._skipped_lines
+            self._spill_quarantine()
             budget = max_bytes if max_bytes is not None else self.max_bytes
             evicted = 0
             if budget is not None:
@@ -350,6 +470,38 @@ class ResultStore:
                 "bytes_after": self.size_bytes(),
                 "records": len(self._records),
             }
+
+    @property
+    def quarantine_path(self) -> Path:
+        """The sidecar file holding rows dropped from the data file by compaction."""
+        return self.path.with_suffix(self.path.suffix + ".quarantine")
+
+    def _spill_quarantine(self) -> None:
+        """Append the currently quarantined raw lines to the sidecar (best effort).
+
+        Called with the lock held, right before a rewrite drops the bad lines from
+        the data file: whatever data survives in them is preserved for post-mortem
+        instead of silently destroyed.
+        """
+        if not self._quarantined:
+            return
+        try:
+            with self.quarantine_path.open("a", encoding="utf-8") as handle:
+                for entry in self._quarantined:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "quarantined_unix": time.time(),
+                                "line": entry["line"],
+                                "reason": entry["reason"],
+                                "raw": entry["raw"],
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+        except OSError:
+            pass  # quarantine is forensic, never worth failing a compaction over
 
     # ------------------------------------------------------------------ maintenance
     def merge(self, other: "ResultStore | str | os.PathLike") -> int:
@@ -393,6 +545,7 @@ class ResultStore:
 
         with self._locked():
             self._load()
+            self._spill_quarantine()
             removed = [fp for fp, record in self._records.items() if doomed(record)]
             for fingerprint in removed:
                 del self._records[fingerprint]
@@ -418,6 +571,7 @@ class ResultStore:
             "failures": len(self._failures),
             "skipped_lines": self._skipped_lines,
             "superseded_lines": self._superseded_lines,
+            "unstamped_lines": self._unstamped_lines,
             "size_bytes": self.size_bytes(),
             "configs": by_config,
             "workloads": by_workload,

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the distributed campaign fleet.
+
+``REPRO_FAULTS=<spec>`` arms named injection sites compiled into the
+durability-critical paths — the JSONL result store, the on-disk trace store, and
+the lease coordinator — so crash-safety claims can be *tested* instead of assumed
+(see ``docs/robustness.md``; ``scripts/chaos_smoke.py`` is the acceptance harness).
+
+The package follows the repo's kill-switch discipline: with ``REPRO_FAULTS``
+unset, :func:`active_faults` returns ``None`` and every hook site is a single
+``None`` check; results are byte-identical to a build without the package.
+"""
+
+from repro.faults.plan import (
+    DIE_EXIT_CODE,
+    FAULTS_ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    active_faults,
+    faults_enabled,
+    reset_faults,
+)
+from repro.faults.sites import ALL_SITES, SITE_CATALOG
+
+__all__ = [
+    "ALL_SITES",
+    "DIE_EXIT_CODE",
+    "FAULTS_ENV_VAR",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedFault",
+    "SITE_CATALOG",
+    "active_faults",
+    "faults_enabled",
+    "reset_faults",
+]

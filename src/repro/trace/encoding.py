@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import sys
+import zlib
 from array import array
 from collections.abc import Iterable, Iterator
 
@@ -55,6 +56,44 @@ def program_fingerprint(program: Program) -> str:
     for label in sorted(program.labels):
         hasher.update(f"@{label}={program.labels[label]}\n".encode())
     return hasher.hexdigest()
+
+
+def validate_blob(blob: bytes) -> tuple[dict, memoryview]:
+    """Structurally validate a trace blob without a program: header + payload.
+
+    Checks everything that can be checked from the bytes alone — header syntax,
+    format version, byte order, column-length/payload-length consistency, and the
+    payload checksum when the header carries one (pre-CRC legacy blobs pass
+    unverified).  Raises :class:`TraceEncodingError` on any violation; the program
+    fingerprint is *not* checked (that needs the program — see
+    :meth:`CapturedTrace.from_bytes`).  This is the audit primitive behind
+    ``repro-campaign fsck``.
+    """
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise TraceEncodingError("trace blob has no header")
+    try:
+        header = json.loads(blob[:newline])
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise TraceEncodingError(f"corrupt trace header: {error}") from error
+    if not isinstance(header, dict):
+        raise TraceEncodingError("trace header is not an object")
+    if header.get("format") != TRACE_FORMAT_VERSION:
+        raise TraceEncodingError(f"unsupported trace format {header.get('format')}")
+    if header.get("byteorder") != sys.byteorder:
+        raise TraceEncodingError("trace captured on a different byte order")
+    payload = memoryview(blob)[newline + 1 :]
+    column_bytes = header.get("column_bytes")
+    if not isinstance(column_bytes, list) or not all(
+        isinstance(size, int) and size >= 0 for size in column_bytes
+    ):
+        raise TraceEncodingError("trace header has no valid column table")
+    if sum(column_bytes) != len(payload):
+        raise TraceEncodingError("trace blob is truncated")
+    expected_crc = header.get("payload_crc32")
+    if expected_crc is not None and zlib.crc32(payload) != expected_crc:
+        raise TraceEncodingError("trace payload checksum mismatch (corrupt blob)")
+    return header, payload
 
 
 class CapturedTrace:
@@ -268,6 +307,7 @@ class CapturedTrace:
         for name in _OPTIONAL_FIELDS:
             columns.append(bytes(self._presence[name]))
             columns.append(self._values[name].tobytes())
+        payload = b"".join(columns)
         header = json.dumps(
             {
                 "format": TRACE_FORMAT_VERSION,
@@ -278,42 +318,34 @@ class CapturedTrace:
                 "halted": self.halted,
                 "budget": self.budget,
                 "column_bytes": [len(column) for column in columns],
+                # Header keys are additive (readers use .get), so stamping the
+                # checksum does not bump the format version: pre-CRC readers
+                # ignore it, and pre-CRC blobs are accepted without verification.
+                "payload_crc32": zlib.crc32(payload),
             },
             sort_keys=True,
         ).encode()
-        return header + b"\n" + b"".join(columns)
+        return header + b"\n" + payload
 
     @classmethod
     def from_bytes(cls, blob: bytes, program: Program) -> "CapturedTrace":
         """Decode a blob produced by :meth:`to_bytes` against ``program``.
 
-        Raises :class:`TraceEncodingError` on format/version/byte-order mismatch or if
-        the blob was captured from a different program.
+        Raises :class:`TraceEncodingError` on format/version/byte-order mismatch,
+        truncation, a payload-checksum mismatch, or if the blob was captured from a
+        different program.
         """
-        newline = blob.find(b"\n")
-        if newline < 0:
-            raise TraceEncodingError("trace blob has no header")
-        try:
-            header = json.loads(blob[:newline])
-        except json.JSONDecodeError as error:
-            raise TraceEncodingError(f"corrupt trace header: {error}") from error
-        if header.get("format") != TRACE_FORMAT_VERSION:
-            raise TraceEncodingError(f"unsupported trace format {header.get('format')}")
-        if header.get("byteorder") != sys.byteorder:
-            raise TraceEncodingError("trace captured on a different byte order")
+        header, payload = validate_blob(blob)
         fingerprint = program_fingerprint(program)
         if header.get("program") != fingerprint:
             raise TraceEncodingError(
                 f"trace was captured from a different program "
                 f"({header.get('program_name')!r})"
             )
-        payload = memoryview(blob)[newline + 1 :]
         column_bytes = header["column_bytes"]
         offsets = [0]
         for size in column_bytes:
             offsets.append(offsets[-1] + size)
-        if offsets[-1] != len(payload):
-            raise TraceEncodingError("trace blob is truncated")
         chunks = [payload[offsets[i] : offsets[i + 1]] for i in range(len(column_bytes))]
 
         def as_array(typecode: str, chunk: memoryview) -> array:

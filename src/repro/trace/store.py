@@ -18,6 +18,12 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro.faults import InjectedFault, active_faults
+from repro.faults.sites import (
+    TRACE_SAVE_CORRUPT,
+    TRACE_SAVE_CRASH,
+    TRACE_SAVE_TRUNCATED,
+)
 from repro.isa.program import Program
 from repro.trace.encoding import CapturedTrace, TraceEncodingError, program_fingerprint
 
@@ -57,15 +63,36 @@ class TraceStore:
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path_for(trace.fingerprint)
+        blob = trace.to_bytes()
+        faults = active_faults()
+        if faults is not None:
+            if faults.fires(TRACE_SAVE_TRUNCATED) is not None:
+                # A torn blob published whole (no atomic-rename semantics): the
+                # column table no longer matches the payload length, so loads
+                # reject it and the next writer recaptures.
+                blob = blob[: max(1, len(blob) // 2)]
+            if faults.fires(TRACE_SAVE_CORRUPT) is not None:
+                # Silent bit rot with the length intact: only the payload
+                # checksum catches it.
+                flip_at = (blob.find(b"\n") + 1 + len(blob)) // 2
+                mutable = bytearray(blob)
+                mutable[flip_at] ^= 0xFF
+                blob = bytes(mutable)
         handle, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=f".{trace.fingerprint[:16]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(handle, "wb") as stream:
-                stream.write(trace.to_bytes())
+                stream.write(blob)
                 stream.flush()
                 os.fsync(stream.fileno())
+            if faults is not None:
+                # Simulated SIGKILL between mkstemp and rename: nothing is
+                # published, the tmp orphan stays for fsck to sweep.
+                faults.crash_if(TRACE_SAVE_CRASH)
             os.replace(tmp_name, path)
+        except InjectedFault:
+            raise
         except BaseException:
             try:
                 os.unlink(tmp_name)

@@ -90,3 +90,51 @@ class TestProgressReporter:
         reporter.finish()
         assert "2 workers" in stream.getvalue()
         assert "utilisation" in stream.getvalue()
+
+
+class TestHeartbeatErrorAccounting:
+    def _cell(self):
+        return CampaignCell(baseline_6_64(), "mcf", 1000, 0)
+
+    def test_swallowed_write_errors_are_counted_and_surfaced(self, tmp_path):
+        import json
+
+        # A path under a *file* makes every mkdir/open fail with OSError.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=2,
+            enabled=True,
+            stream=stream,
+            heartbeat_path=str(blocker / "log.jsonl"),
+        )
+        reporter.cell_done(self._cell(), 1.0, reused=False)
+        reporter.cell_done(self._cell(), 1.0, reused=True)
+        assert reporter.heartbeat_errors == 2  # swallowed, but not silently
+        reporter.finish()
+        assert "heartbeat-log writes failed" in stream.getvalue()
+
+        # The counter also rides the structured finish record on a healthy log.
+        healthy = tmp_path / "log.jsonl"
+        ok = ProgressReporter(
+            total=1, enabled=False, heartbeat_path=str(healthy)
+        )
+        ok.cell_done(self._cell(), 1.0, reused=False)
+        ok.finish()
+        finish_row = json.loads(healthy.read_text().splitlines()[-1])
+        assert finish_row["event"] == "finish"
+        assert finish_row["heartbeat_write_errors"] == 0
+
+    def test_healthy_log_reports_no_failures_in_the_summary(self, tmp_path):
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=1,
+            enabled=True,
+            stream=stream,
+            heartbeat_path=str(tmp_path / "log.jsonl"),
+        )
+        reporter.cell_done(self._cell(), 1.0, reused=False)
+        reporter.finish()
+        assert reporter.heartbeat_errors == 0
+        assert "heartbeat-log" not in stream.getvalue()

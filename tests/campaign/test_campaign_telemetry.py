@@ -147,11 +147,14 @@ class TestReportMetrics:
         store = ResultStore(tmp_path / "s.jsonl")
         campaign = _campaign(workloads=("gcc",))
         run_campaign(campaign, store=store, workers=1)
-        # Strip the telemetry key, emulating a store written before this feature.
+        # Strip the telemetry key, emulating a store written before this feature
+        # existed — which also predates row stamping, so drop the version/CRC
+        # keys too (keeping a stale CRC would make this bit rot, not legacy).
         stripped = []
         for line in store.path.read_text().splitlines():
             record = json.loads(line)
-            record.pop("telemetry", None)
+            for key in ("telemetry", "v", "crc"):
+                record.pop(key, None)
             stripped.append(json.dumps(record))
         store.path.write_text("\n".join(stripped) + "\n")
         assert main(["report", "--store", str(store.path), "--metrics"]) == 0

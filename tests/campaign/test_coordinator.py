@@ -387,3 +387,82 @@ class TestKillAWorker:
             assert json.dumps(record["result"], sort_keys=True) == json.dumps(
                 expected.to_dict(), sort_keys=True
             ), f"fleet result diverges for {cell.describe()}"
+
+
+class TestFaultSitesAndPoliteKill:
+    """Coordinator fault-injection sites plus the SIGTERM polite-release path."""
+
+    def _armed(self, monkeypatch, spec: str) -> None:
+        from repro.faults import reset_faults
+
+        monkeypatch.setenv("REPRO_FAULTS", spec)
+        reset_faults()
+
+    def test_dropped_heartbeats_lapse_the_lease(self, tmp_path, monkeypatch):
+        service = _service(tmp_path, _campaign(), lease_seconds=0.2)
+        lease = service.claim("sick-worker")
+        self._armed(monkeypatch, "coord.heartbeat.drop:every=1:n=0")
+        deadline_before = service._read_lease(lease.lease_id).deadline_unix
+        # The worker believes every beat lands, but none extend the deadline.
+        assert service.heartbeat(lease, "sick-worker") is True
+        assert service._read_lease(lease.lease_id).deadline_unix == deadline_before
+        time.sleep(0.25)
+        takeover = service.claim("healthy-worker")
+        assert takeover is not None and takeover.lease_id == lease.lease_id
+        assert takeover.owner == "healthy-worker"
+
+    def test_clock_skew_site_shifts_this_claimants_clock(self, tmp_path, monkeypatch):
+        service = _service(tmp_path, _campaign(), lease_seconds=30.0)
+        held = service.claim("owner")
+        assert held is not None
+        # A claimant whose clock runs far ahead sees live leases as lapsed and
+        # steals them — exactly the NTP-drift hazard the site exists to model.
+        self._armed(monkeypatch, "coord.clock.skew:every=1:n=0:skew=120")
+        stolen = service.claim("fast-clock")
+        assert stolen is not None
+        assert stolen.owner == "fast-clock"
+
+    def test_release_is_owner_fenced_and_refunds_the_attempt(self, tmp_path):
+        service = _service(tmp_path, _campaign())
+        lease = service.claim("w1")
+        assert lease.attempts == 1
+        assert service.release(lease, "imposter") is False
+        assert service._read_lease(lease.lease_id).state == "running"
+        assert service.release(lease, "w1") is True
+        released = service._read_lease(lease.lease_id)
+        assert released.state == "pending"
+        assert released.owner is None
+        assert released.attempts == 0  # the abandoned claim is refunded
+        assert released.not_before_unix == 0.0  # immediately claimable, no backoff
+        # Releasing twice is a no-op: the lease is no longer ours.
+        assert service.release(lease, "w1") is False
+
+    def test_sigterm_mid_lease_releases_and_reports(self, tmp_path, monkeypatch):
+        import repro.campaign.coordinator as coordinator
+
+        service = _service(tmp_path, _campaign(), lease_seconds=60.0)
+
+        def _killed_mid_lease(service_, lease_, worker_id_, store_):
+            # Deliver a real SIGTERM to ourselves while the lease is held: the
+            # handler work_loop installed must unwind to the release path.
+            signal.raise_signal(signal.SIGTERM)
+            raise AssertionError("the SIGTERM handler should have interrupted us")
+
+        monkeypatch.setattr(coordinator, "process_lease", _killed_mid_lease)
+        counts = work_loop(service, worker_id="w1", handle_signals=True)
+        assert counts["interrupted"] == "SIGTERM"
+        assert counts["released"] == 1
+        assert counts["processed"] == 0
+        for lease in service.leases():
+            assert lease.state == "pending"
+            assert lease.attempts == 0  # refunded: no retry budget burned
+        # The previous SIGTERM disposition was restored on the way out.
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+
+    def test_work_loop_without_handlers_leaves_signal_dispositions(self, tmp_path):
+        service = _service(tmp_path, _campaign("gcc"))
+        before = signal.getsignal(signal.SIGTERM)
+        counts = work_loop(service, worker_id="w1", once=True)
+        assert counts["processed"] == 1
+        assert counts["released"] == 0
+        assert signal.getsignal(signal.SIGTERM) is before

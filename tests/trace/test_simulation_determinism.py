@@ -376,6 +376,81 @@ def test_multi_replay_composes_with_reference_loops(monkeypatch):
     assert composed == reference
 
 
+def test_fault_arming_never_perturbs_simulation(monkeypatch):
+    """``REPRO_FAULTS`` touches durability plumbing and liveness only: arming a
+    plan — even one whose sites fire on every hit — leaves every simulation
+    counter byte-identical to the faults-off run (the sites live in store/trace
+    I/O and lease transitions, never in simulator loops)."""
+    from repro.faults import FAULTS_ENV_VAR, active_faults, reset_faults
+
+    cell = CampaignCell(
+        config=named_config("EOLE_4_64"),
+        workload_name="gcc",
+        max_uops=MAX_UOPS,
+        warmup_uops=WARMUP_UOPS,
+    )
+    monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+    reset_faults()
+    assert active_faults() is None  # the kill switch: off means off
+    shared_trace_cache.clear()
+    baseline = simulate_cell(cell).to_dict()
+
+    monkeypatch.setenv(
+        FAULTS_ENV_VAR,
+        "coord.heartbeat.drop:every=1:n=0;coord.claim.delay:every=1:n=0:delay=0",
+    )
+    reset_faults()
+    shared_trace_cache.clear()
+    armed = simulate_cell(cell).to_dict()
+    monkeypatch.delenv(FAULTS_ENV_VAR)
+    reset_faults()
+    assert json.dumps(armed, sort_keys=True) == json.dumps(baseline, sort_keys=True)
+
+
+def test_fleet_under_injected_faults_is_byte_identical(monkeypatch, tmp_path):
+    """A leased-queue fleet worker crashing on an injected torn append and losing
+    heartbeats still lands results byte-identical to the serial path: crashes
+    cost retries, never bits (the chaos smoke runs the subprocess version)."""
+    from repro.campaign.coordinator import CampaignService, work_loop
+    from repro.campaign.executor import run_campaign
+    from repro.campaign.spec import Campaign
+    from repro.faults import FAULTS_ENV_VAR, reset_faults
+
+    campaign = Campaign.from_names(
+        GRID_CONFIGS[:2],
+        ",".join(GRID_WORKLOADS),
+        max_uops=MAX_UOPS,
+        warmup_uops=WARMUP_UOPS,
+        name="faulty-fleet",
+    )
+    service = CampaignService(tmp_path / "svc")
+    service.submit(campaign, backoff_seconds=0.05, max_attempts=4)
+    monkeypatch.setenv(TRACE_STORE_ENV_VAR, str(service.trace_dir))
+    monkeypatch.setenv(
+        FAULTS_ENV_VAR,
+        "store.append.torn:at=2;coord.heartbeat.drop:every=2:n=0",
+    )
+    reset_faults()
+    shared_trace_cache.clear()
+    counts = work_loop(service, worker_id="w1", poll_seconds=0.05)
+    monkeypatch.delenv(FAULTS_ENV_VAR)
+    reset_faults()
+    assert counts["requeued"] >= 1  # the torn append really did cost a retry
+
+    store = service.result_store()
+    assert not store.failures()
+    monkeypatch.delenv(TRACE_STORE_ENV_VAR)
+    shared_trace_cache.clear()
+    serial = run_campaign(campaign, store=None, workers=1)
+    for cell in campaign.cells():
+        record = store.get_record(cell.fingerprint)
+        expected = serial.results[(cell.config.name, cell.workload_name)]
+        assert record is not None, f"missing {cell.describe()}"
+        assert json.dumps(record["result"], sort_keys=True) == json.dumps(
+            expected.to_dict(), sort_keys=True
+        ), f"fleet result diverges for {cell.describe()}"
+
+
 @pytest.fixture(autouse=True)
 def _clean_shared_cache():
     yield
